@@ -1,0 +1,55 @@
+"""Shared helpers for the figure-regeneration benchmarks.
+
+Each benchmark runs the experiment behind one paper figure, writes the
+series it produces to ``benchmarks/out/<name>.txt`` (so the numbers
+survive the run), echoes them to stdout, and asserts the qualitative
+shape the paper reports.  pytest-benchmark wraps the whole figure
+computation, so `pytest benchmarks/ --benchmark-only` both regenerates
+every figure and reports how long each takes.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+OUT_DIR = Path(__file__).parent / "out"
+
+#: Replications per point.  The paper averaged enough runs to get
+#: stddev < 4%; REPRO_BENCH_REPS can raise this for tighter curves.
+DEFAULT_REPS = int(os.environ.get("REPRO_BENCH_REPS", "10"))
+
+#: Transfer-size scale factor (1.0 = the paper's sizes).  Lower it for
+#: quick smoke runs: REPRO_BENCH_SCALE=0.25 pytest benchmarks/ ...
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+#: Below 0.8x scale the runs are smoke tests: each benchmark still
+#: regenerates and saves its figure, but only sanity-level assertions
+#: apply (tiny transfers over a fading link are far too noisy for the
+#: paper-shape margins, which are calibrated at full scale).
+STRICT = SCALE >= 0.8
+
+
+@pytest.fixture(scope="session")
+def out_dir() -> Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+@pytest.fixture
+def report(out_dir):
+    """Write a figure's text report to disk and echo it."""
+
+    def _report(name: str, text: str) -> None:
+        path = out_dir / f"{name}.txt"
+        path.write_text(text)
+        print(f"\n{'=' * 72}\n{text}\n[written to {path}]")
+
+    return _report
+
+
+def run_once(benchmark, fn):
+    """Run a figure computation exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,81 @@
+"""Simulator performance microbenchmarks.
+
+Not a paper figure — these keep the engine honest as a piece of
+software: event throughput of the raw loop, timer churn, and the
+wall-clock cost of a full WAN scenario.  pytest-benchmark runs these
+repeatedly and reports distributions, so regressions in the hot paths
+(heap discipline, ARQ bookkeeping) show up as slowdowns here.
+"""
+
+from __future__ import annotations
+
+from repro.engine import Simulator, Timer
+from repro.experiments.config import wan_scenario
+from repro.experiments.topology import Scheme, run_scenario
+
+
+def test_event_loop_throughput(benchmark):
+    """Schedule-and-run 50k chained events."""
+
+    def run():
+        sim = Simulator()
+        count = 50_000
+
+        def chain(n):
+            if n:
+                sim.schedule(0.001, chain, n - 1)
+
+        chain_start = count
+        sim.schedule(0.0, chain, chain_start)
+        sim.run()
+        return sim.events_executed
+
+    executed = benchmark(run)
+    assert executed == 50_001
+
+
+def test_timer_restart_churn(benchmark):
+    """The EBSN pattern at scale: 20k restarts of one timer."""
+
+    def run():
+        sim = Simulator()
+        timer = Timer(sim, lambda: None)
+        timer.start(1e9)
+        for _ in range(20_000):
+            timer.restart(1e9)
+        timer.cancel()
+        sim.run()
+        return timer.expiry_count
+
+    assert benchmark(run) == 0
+
+
+def test_heap_with_cancellations(benchmark):
+    """Half the scheduled events get cancelled (ARQ-like churn)."""
+
+    def run():
+        sim = Simulator()
+        events = [sim.schedule(float(i % 97) + 1.0, lambda: None) for i in range(20_000)]
+        for event in events[::2]:
+            event.cancel()
+        sim.run()
+        return sim.events_executed
+
+    assert benchmark(run) == 10_000
+
+
+def test_full_wan_scenario_cost(benchmark):
+    """Wall-clock cost of one 100 KB EBSN run (the workhorse unit)."""
+
+    def run():
+        return run_scenario(
+            wan_scenario(
+                scheme=Scheme.EBSN,
+                bad_period_mean=4.0,
+                transfer_bytes=100 * 1024,
+                record_trace=False,
+            )
+        )
+
+    result = benchmark(run)
+    assert result.completed

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""The §6 follow-up experiment: wired congestion meets wireless fades.
+
+A constant-bit-rate source loads the wired bottleneck while the
+wireless hop fades as usual.  Compares {basic, EBSN} x {ECN off, on}:
+ECN handles the congestion pathology, EBSN the wireless one, and the
+two explicit-feedback mechanisms coexist without masking each other.
+
+Usage:
+    python examples/congestion_ecn_study.py [cross_load] [seeds]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments.ascii_plot import format_table
+from repro.experiments.congestion import (
+    CongestedScenarioConfig,
+    run_congested_scenario,
+)
+from repro.experiments.topology import Scheme
+
+
+def main() -> None:
+    cross_load = float(sys.argv[1]) if len(sys.argv) > 1 else 0.9
+    seeds = int(sys.argv[2]) if len(sys.argv) > 2 else 4
+
+    rows = []
+    for scheme in (Scheme.BASIC, Scheme.EBSN):
+        for ecn in (False, True):
+            tput = drops = responses = timeouts = 0.0
+            for seed in range(1, seeds + 1):
+                result = run_congested_scenario(
+                    CongestedScenarioConfig(
+                        scheme=scheme, ecn=ecn, cross_load=cross_load, seed=seed
+                    )
+                )
+                tput += result.metrics.throughput_kbps / seeds
+                drops += result.bottleneck_drops / seeds
+                responses += result.ecn_responses / seeds
+                timeouts += result.timeouts / seeds
+            rows.append(
+                [
+                    scheme.value,
+                    "on" if ecn else "off",
+                    f"{tput:.2f}",
+                    f"{drops:.1f}",
+                    f"{responses:.1f}",
+                    f"{timeouts:.1f}",
+                ]
+            )
+    print(
+        format_table(
+            ["scheme", "ECN", "tput(kbps)", "drops", "ECN resp", "timeouts"],
+            rows,
+            title=f"Bottleneck at {cross_load:.0%} cross load + wireless fades:",
+        )
+    )
+    print(
+        "ECN converts most congestion drops into window halvings; EBSN\n"
+        "removes the wireless-stall timeouts.  Each mechanism addresses\n"
+        "its own pathology, and the combination suppresses both — the\n"
+        "interaction study the paper deferred to future work."
+    )
+
+
+if __name__ == "__main__":
+    main()

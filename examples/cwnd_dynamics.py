@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Visualize the congestion-window dynamics behind Figs 3-5.
+
+Runs the paper's frozen-channel example (10 s good / 4 s bad) for
+basic TCP and EBSN with cwnd recording enabled, renders the window
+sawtooth, and summarizes the collapses — the mechanism-level view of
+why EBSN wins.
+
+Usage:
+    python examples/cwnd_dynamics.py [width]
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import replace
+
+from repro import Scheme, run_scenario, trace_example_scenario
+from repro.metrics.cwnd import render_cwnd, summarize_cwnd
+
+
+def main() -> None:
+    width = int(sys.argv[1]) if len(sys.argv) > 1 else 90
+
+    for scheme, label in (
+        (Scheme.BASIC, "Basic TCP"),
+        (Scheme.LOCAL_RECOVERY, "Local recovery"),
+        (Scheme.EBSN, "EBSN"),
+    ):
+        config = replace(trace_example_scenario(scheme), record_cwnd=True)
+        result = run_scenario(config)
+        trace = result.sender.stats.cwnd_trace
+        duration = result.metrics.duration
+        if not trace:
+            trace = [(0.0, result.sender.cwnd)]
+        summary = summarize_cwnd(trace, end_time=duration)
+        print(
+            f"\n{label}: {result.metrics.throughput_kbps:.2f} kbps over "
+            f"{duration:.1f} s — {summary.collapses} window collapses, "
+            f"mean cwnd {summary.mean_cwnd:.2f} segments, "
+            f"{summary.time_below_threshold * 100:.0f}% of time below "
+            f"{summary.threshold:g}"
+        )
+        print(render_cwnd(trace, end_time=min(duration, 90.0), width=width))
+
+    print(
+        "Basic TCP's window collapses at every fade and crawls back\n"
+        "through slow start; with EBSN the source never times out, so\n"
+        "the window stays at the advertised limit for the whole run."
+    )
+
+
+if __name__ == "__main__":
+    main()

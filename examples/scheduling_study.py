@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Link-level scheduling for multiple connections (the [9] baseline).
+
+Four TCP connections share one base-station radio; each mobile host
+fades independently.  Compares FIFO (head-of-line blocking),
+round-robin, and channel-state-dependent (CSDP) scheduling, and shows
+how CSDP's gain depends on its predictor's probe interval.
+
+Usage:
+    python examples/scheduling_study.py [transfer_kb] [seeds]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.csdp import CsdpStudyConfig, run_csdp_study
+from repro.experiments.ascii_plot import format_table
+
+
+def run_avg(seeds, **kwargs):
+    agg = blocked = timeouts = 0.0
+    for seed in range(1, seeds + 1):
+        result = run_csdp_study(CsdpStudyConfig(seed=seed, **kwargs))
+        agg += result.aggregate_throughput_bps / 1000 / seeds
+        blocked += result.radio.idle_blocked_time / seeds
+        timeouts += result.total_timeouts / seeds
+    return agg, blocked, timeouts
+
+
+def main() -> None:
+    transfer_kb = int(sys.argv[1]) if len(sys.argv) > 1 else 40
+    seeds = int(sys.argv[2]) if len(sys.argv) > 2 else 4
+    transfer = transfer_kb * 1024
+
+    rows = []
+    for sched in ("fifo", "rr", "csdp"):
+        agg, blocked, timeouts = run_avg(
+            seeds, scheduler=sched, transfer_bytes=transfer
+        )
+        rows.append([sched, f"{agg:.2f}", f"{blocked:.1f}", f"{timeouts:.1f}"])
+    print(
+        format_table(
+            ["scheduler", "aggregate(kbps)", "HOL idle(s)", "timeouts/run"],
+            rows,
+            title="4 connections, independent fading (good 4 s / bad 1 s):",
+        )
+    )
+
+    rows = []
+    for probe in (0.1, 0.5, 2.0):
+        agg, _, _ = run_avg(
+            seeds, scheduler="csdp", csdp_probe_interval=probe,
+            transfer_bytes=transfer,
+        )
+        rows.append([f"{probe:g}", f"{agg:.2f}"])
+    print(
+        format_table(
+            ["probe interval(s)", "aggregate(kbps)"],
+            rows,
+            title="CSDP predictor accuracy trade-off (probe interval):",
+        )
+    )
+    print(
+        "Round-robin removes the FIFO head-of-line blocking; CSDP's\n"
+        "extra edge depends on how well its probe interval matches the\n"
+        "fade timescale — the accuracy caveat the paper's §2 raises.\n"
+        "Source timeouts persist under every policy: scheduling is\n"
+        "complementary to EBSN, not a substitute."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""repro — reproduction of "Improving Performance of TCP over Wireless
+Networks" (Bakshi, Krishna, Vaidya, Pradhan; ICDCS 1997).
+
+A pure-Python discrete-event network simulator plus the paper's
+mechanisms:
+
+* TCP Tahoe over a wired+wireless path with a two-state burst-error
+  channel;
+* link-layer local recovery (stop-and-wait ARQ with RTmax discard) at
+  the base station;
+* **EBSN** — Explicit Bad State Notification — the paper's
+  contribution: the base station re-arms the source's retransmission
+  timer during local recovery, eliminating spurious timeouts;
+* packet-size optimization for fragmented wireless paths;
+* baselines: ICMP source quench, snoop-style agent.
+
+Quickstart::
+
+    from repro import Scheme, run_scenario, wan_scenario
+
+    result = run_scenario(wan_scenario(scheme=Scheme.EBSN, packet_size=1536,
+                                       bad_period_mean=4.0))
+    print(result.metrics.throughput_kbps, "kbps,",
+          result.metrics.goodput * 100, "% goodput")
+"""
+
+from repro.experiments.config import (
+    lan_scenario,
+    trace_example_scenario,
+    wan_scenario,
+)
+from repro.experiments.runner import ReplicatedResult, run_replicated, sweep
+from repro.experiments.topology import (
+    ChannelConfig,
+    Scenario,
+    ScenarioConfig,
+    ScenarioResult,
+    Scheme,
+    run_scenario,
+)
+from repro.metrics import ConnectionMetrics, PacketTrace, theoretical_throughput_bps
+from repro.tcp import RenoSender, TahoeSender, TcpConfig, TcpSink
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ChannelConfig",
+    "ConnectionMetrics",
+    "PacketTrace",
+    "RenoSender",
+    "ReplicatedResult",
+    "Scenario",
+    "ScenarioConfig",
+    "ScenarioResult",
+    "Scheme",
+    "TahoeSender",
+    "TcpConfig",
+    "TcpSink",
+    "lan_scenario",
+    "run_replicated",
+    "run_scenario",
+    "sweep",
+    "theoretical_throughput_bps",
+    "trace_example_scenario",
+    "wan_scenario",
+    "__version__",
+]

@@ -1,0 +1,70 @@
+"""A fully scripted channel for tests and debugging.
+
+Sometimes you need exact control: "lose the 3rd and 4th frames", or
+"fail everything between t=2 and t=5".  :class:`ScriptedChannel`
+satisfies the same interface the wireless link uses (``corrupts`` /
+``good_fraction``) but takes its decisions from a user-supplied script
+instead of a stochastic process, so protocol behaviour can be pinned
+down frame by frame.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Set, Tuple
+
+
+class ScriptedChannel:
+    """Channel whose corruption decisions are scripted.
+
+    Three (combinable) ways to script losses:
+
+    * ``lose_frames`` — 1-based indices of transmissions to corrupt
+      ("lose the 3rd and 7th frames offered");
+    * ``bad_windows`` — absolute time intervals during which every
+      transmission that overlaps them is lost;
+    * ``decide`` — an arbitrary callback
+      ``(index, start, duration, nbits) -> bool``.
+
+    A transmission is corrupted if *any* active rule says so.
+    """
+
+    def __init__(
+        self,
+        lose_frames: Optional[Iterable[int]] = None,
+        bad_windows: Optional[Iterable[Tuple[float, float]]] = None,
+        decide: Optional[Callable[[int, float, float, int], bool]] = None,
+        good_fraction_value: float = 1.0,
+    ) -> None:
+        self._lose: Set[int] = set(lose_frames or ())
+        self._windows = [tuple(w) for w in (bad_windows or ())]
+        for start, end in self._windows:
+            if end < start:
+                raise ValueError(f"bad window {start}..{end} is inverted")
+        self._decide = decide
+        self._good_fraction = good_fraction_value
+        self.frames_tested = 0
+        self.frames_corrupted = 0
+        #: Log of (index, start, duration, corrupted) for assertions.
+        self.decisions: list[Tuple[int, float, float, bool]] = []
+
+    def corrupts(self, start: float, duration: float, nbits: int) -> bool:
+        """Apply the scripted rules to one transmission."""
+        self.frames_tested += 1
+        index = self.frames_tested
+        corrupted = index in self._lose
+        if not corrupted:
+            end = start + duration
+            corrupted = any(
+                start < w_end and end > w_start or (start == w_start)
+                for w_start, w_end in self._windows
+            )
+        if not corrupted and self._decide is not None:
+            corrupted = self._decide(index, start, duration, nbits)
+        if corrupted:
+            self.frames_corrupted += 1
+        self.decisions.append((index, start, duration, corrupted))
+        return corrupted
+
+    def good_fraction(self) -> float:
+        """The configured nominal good fraction (for tput_th helpers)."""
+        return self._good_fraction

@@ -1,0 +1,489 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run``    — one transfer under a chosen scheme; print metrics.
+* ``trace``  — render the paper's Fig 3/4/5 trace plots.
+* ``sweep``  — packet-size (WAN) or bad-period (LAN) sweep.
+* ``figure`` — regenerate a paper figure's data series (7-11).
+* ``csdp``   — the multi-connection scheduling study.
+* ``handoff``— the two-cell handoff study.
+* ``congestion`` — the wired-congestion / ECN / EBSN interaction.
+* ``validate`` — run every claim check and print a ✓/✗ report.
+* ``report`` — assemble benchmarks/out/*.txt into one REPORT.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.csdp import CsdpStudyConfig, run_csdp_study
+from repro.experiments.ascii_plot import format_table
+from repro.experiments.config import (
+    LAN_BAD_PERIODS,
+    WAN_BAD_PERIODS,
+    WAN_PACKET_SIZES,
+    lan_scenario,
+    trace_example_scenario,
+    wan_scenario,
+)
+from repro.experiments.figures import (
+    figure_7,
+    figure_8,
+    figure_9,
+    figure_10,
+    figure_11,
+    lan_theoretical_mbps,
+    trace_figure,
+    wan_theoretical_kbps,
+)
+from repro.experiments.runner import run_replicated
+from repro.experiments.topology import Scheme, run_scenario
+
+SCHEMES = {s.value: s for s in Scheme}
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=1, help="master RNG seed")
+    parser.add_argument(
+        "--scheme",
+        choices=sorted(SCHEMES),
+        default="ebsn",
+        help="recovery scheme (default: ebsn)",
+    )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    scheme = SCHEMES[args.scheme]
+    if args.lan:
+        config = lan_scenario(
+            scheme=scheme,
+            bad_period_mean=args.bad_period,
+            transfer_bytes=args.transfer_kb * 1024,
+            seed=args.seed,
+        )
+    else:
+        config = wan_scenario(
+            scheme=scheme,
+            packet_size=args.packet_size,
+            bad_period_mean=args.bad_period,
+            transfer_bytes=args.transfer_kb * 1024,
+            seed=args.seed,
+        )
+    result = run_scenario(config)
+    m = result.metrics
+    unit = "Mbps" if args.lan else "kbps"
+    tput = m.throughput_bps / (1e6 if args.lan else 1e3)
+    tput_th = result.tput_th_bps / (1e6 if args.lan else 1e3)
+    print(f"scheme            : {scheme.value}")
+    print(f"completed         : {result.completed}")
+    print(f"duration          : {m.duration:.2f} s")
+    print(f"throughput        : {tput:.3f} {unit}  (theoretical max {tput_th:.3f})")
+    print(f"goodput           : {m.goodput * 100:.1f} %")
+    print(f"timeouts          : {m.timeouts}")
+    print(f"fast retransmits  : {m.fast_retransmits}")
+    print(f"retransmitted     : {m.retransmitted_kbytes:.1f} KB")
+    return 0 if result.completed else 1
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    result = run_scenario(trace_example_scenario(SCHEMES[args.scheme]))
+    m = result.metrics
+    print(
+        f"{args.scheme}: {m.throughput_kbps:.2f} kbps, goodput "
+        f"{m.goodput * 100:.1f}%, {m.timeouts} timeouts, "
+        f"{m.retransmissions} source retransmissions"
+    )
+    print(result.trace.render(width=args.width, t_max=args.t_max))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    scheme = SCHEMES[args.scheme]
+    rows = []
+    if args.lan:
+        for bad in LAN_BAD_PERIODS:
+            r = run_replicated(
+                lan_scenario(
+                    scheme=scheme,
+                    bad_period_mean=bad,
+                    transfer_bytes=args.transfer_kb * 1024,
+                ),
+                replications=args.replications,
+                base_seed=args.seed,
+            )
+            rows.append(
+                [
+                    f"{bad:g}",
+                    f"{r.throughput_mbps:.3f}",
+                    f"{lan_theoretical_mbps(bad):.3f}",
+                    f"{r.goodput_mean:.3f}",
+                    f"{r.timeouts_mean:.1f}",
+                ]
+            )
+        print(
+            format_table(
+                ["bad(s)", "tput(Mbps)", "tput_th", "goodput", "timeouts/run"],
+                rows,
+                title=f"LAN sweep, scheme={scheme.value}:",
+            )
+        )
+    else:
+        for size in WAN_PACKET_SIZES:
+            r = run_replicated(
+                wan_scenario(
+                    scheme=scheme,
+                    packet_size=size,
+                    bad_period_mean=args.bad_period,
+                    transfer_bytes=args.transfer_kb * 1024,
+                    record_trace=False,
+                ),
+                replications=args.replications,
+                base_seed=args.seed,
+            )
+            rows.append(
+                [
+                    f"{size}",
+                    f"{r.throughput_kbps:.2f}",
+                    f"{r.goodput_mean:.3f}",
+                    f"{r.timeouts_mean:.1f}",
+                ]
+            )
+        print(
+            format_table(
+                ["size(B)", "tput(kbps)", "goodput", "timeouts/run"],
+                rows,
+                title=(
+                    f"WAN packet-size sweep, scheme={scheme.value}, "
+                    f"bad={args.bad_period:g}s "
+                    f"(tput_th={wan_theoretical_kbps(args.bad_period):.2f} kbps):"
+                ),
+            )
+        )
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    n = args.number
+    reps = args.replications
+    if n in (3, 4, 5):
+        result = trace_figure(n)
+        print(result.trace.render(width=100, t_max=60.0, title=f"Figure {n}"))
+        return 0
+    if n == 7 or n == 8:
+        series = (figure_7 if n == 7 else figure_8)(replications=reps)
+        header = ["size(B)"] + [f"bad={b:g}s" for b in WAN_BAD_PERIODS]
+        rows = [
+            [str(size)]
+            + [f"{series[b].points[size].throughput_kbps:.2f}" for b in WAN_BAD_PERIODS]
+            for size in WAN_PACKET_SIZES
+        ]
+        rows.append(["tput_th"] + [f"{wan_theoretical_kbps(b):.2f}" for b in WAN_BAD_PERIODS])
+        print(format_table(header, rows, title=f"Figure {n} (throughput, kbps):"))
+        return 0
+    if n == 9:
+        data = figure_9(replications=reps)
+        for label, series in data.items():
+            header = ["size(B)"] + [f"bad={b:g}s" for b in WAN_BAD_PERIODS]
+            rows = [
+                [str(size)]
+                + [
+                    f"{series[b].points[size].retransmitted_kbytes_mean:.1f}"
+                    for b in WAN_BAD_PERIODS
+                ]
+                for size in WAN_PACKET_SIZES
+            ]
+            print(format_table(header, rows, title=f"Figure 9, {label} (KB retransmitted):"))
+        return 0
+    if n in (10, 11):
+        data = figure_10(replications=reps) if n == 10 else figure_11(replications=reps)
+        if n == 10:
+            rows = [
+                [
+                    f"{bad:g}",
+                    f"{lan_theoretical_mbps(bad):.3f}",
+                    f"{data['basic'].points[bad].throughput_mbps:.3f}",
+                    f"{data['ebsn'].points[bad].throughput_mbps:.3f}",
+                ]
+                for bad in LAN_BAD_PERIODS
+            ]
+            print(
+                format_table(
+                    ["bad(s)", "tput_th", "basic(Mbps)", "ebsn(Mbps)"],
+                    rows,
+                    title="Figure 10:",
+                )
+            )
+        else:
+            rows = [
+                [
+                    f"{bad:g}",
+                    f"{data['basic'].points[bad].retransmitted_kbytes_mean:.1f}",
+                    f"{data['ebsn'].points[bad].retransmitted_kbytes_mean:.1f}",
+                ]
+                for bad in LAN_BAD_PERIODS
+            ]
+            print(
+                format_table(
+                    ["bad(s)", "basic(KB)", "ebsn(KB)"], rows, title="Figure 11:"
+                )
+            )
+        return 0
+    print(f"unknown figure {n}; know 3, 4, 5, 7, 8, 9, 10, 11", file=sys.stderr)
+    return 2
+
+
+def _cmd_csdp(args: argparse.Namespace) -> int:
+    rows = []
+    for sched in ("fifo", "rr", "csdp"):
+        result = run_csdp_study(
+            CsdpStudyConfig(
+                scheduler=sched,
+                n_connections=args.connections,
+                transfer_bytes=args.transfer_kb * 1024,
+                seed=args.seed,
+            )
+        )
+        rows.append(
+            [
+                sched,
+                f"{result.aggregate_throughput_bps / 1000:.2f}",
+                f"{result.radio.idle_blocked_time:.1f}",
+                f"{result.total_timeouts}",
+                f"{result.fairness_index:.3f}",
+            ]
+        )
+    print(
+        format_table(
+            ["scheduler", "aggregate(kbps)", "HOL idle(s)", "timeouts", "fairness"],
+            rows,
+            title=f"{args.connections} connections, independent fading:",
+        )
+    )
+    return 0
+
+
+def _cmd_handoff(args: argparse.Namespace) -> int:
+    from repro.handoff import HandoffConfig, HandoffScheme, run_handoff_scenario
+
+    rows = []
+    for scheme in HandoffScheme:
+        tput = timeouts = 0.0
+        for seed in range(1, args.seeds + 1):
+            result = run_handoff_scenario(
+                HandoffConfig(
+                    scheme=scheme,
+                    handoff_interval=args.interval,
+                    disconnect_time=args.disconnect,
+                    transfer_bytes=args.transfer_kb * 1024,
+                    seed=seed,
+                )
+            )
+            tput += result.metrics.throughput_kbps / args.seeds
+            timeouts += result.timeouts / args.seeds
+        rows.append([scheme.value, f"{tput:.2f}", f"{timeouts:.1f}"])
+    print(
+        format_table(
+            ["scheme", "tput(kbps)", "timeouts/run"],
+            rows,
+            title=(
+                f"Handoff every {args.interval:g} s, "
+                f"{args.disconnect * 1000:.0f} ms outage:"
+            ),
+        )
+    )
+    return 0
+
+
+def _cmd_congestion(args: argparse.Namespace) -> int:
+    from repro.experiments.congestion import (
+        CongestedScenarioConfig,
+        run_congested_scenario,
+    )
+
+    rows = []
+    for scheme in (Scheme.BASIC, Scheme.EBSN):
+        for ecn in (False, True):
+            tput = drops = timeouts = 0.0
+            for seed in range(1, args.seeds + 1):
+                result = run_congested_scenario(
+                    CongestedScenarioConfig(
+                        scheme=scheme, ecn=ecn, cross_load=args.load, seed=seed
+                    )
+                )
+                tput += result.metrics.throughput_kbps / args.seeds
+                drops += result.bottleneck_drops / args.seeds
+                timeouts += result.timeouts / args.seeds
+            rows.append(
+                [
+                    scheme.value,
+                    "on" if ecn else "off",
+                    f"{tput:.2f}",
+                    f"{drops:.1f}",
+                    f"{timeouts:.1f}",
+                ]
+            )
+    print(
+        format_table(
+            ["scheme", "ECN", "tput(kbps)", "drops", "timeouts"],
+            rows,
+            title=f"Bottleneck at {args.load:.0%} cross load:",
+        )
+    )
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.experiments.claims import validate_all
+
+    results = validate_all(scale=args.scale, seeds=args.seeds)
+    width = max(len(c.statement) for c, _ in results)
+    failures = 0
+    for claim, result in results:
+        mark = "\u2713" if result.passed else "\u2717"
+        if not result.passed:
+            failures += 1
+        print(f"[{mark}] {claim.source:8s} {claim.statement:<{width}}  {result.detail}")
+    total = len(results)
+    print(f"\n{total - failures}/{total} claims validated "
+          f"(scale {args.scale:g}, {args.seeds} seeds)")
+    return 0 if failures == 0 else 1
+
+
+#: Display order for the assembled report: paper figures first, then
+#: the negative results, then the extension studies and ablations.
+_REPORT_ORDER = [
+    "fig3_5_summary",
+    "fig3_trace_basic",
+    "fig4_trace_local_recovery",
+    "fig5_trace_ebsn",
+    "fig7_wan_basic",
+    "fig8_wan_ebsn",
+    "fig9_wan_retx",
+    "fig10_lan_tput",
+    "fig11_lan_retx",
+    "quench_negative",
+    "snoop_vs_ebsn",
+    "csdp_scheduling",
+    "congestion_ecn_ebsn",
+    "handoff_schemes",
+    "ablation_granularity",
+    "ablation_rtmax",
+    "ablation_robust_timer",
+    "ablation_tcp_variant",
+    "ablation_arq_window",
+    "ablation_window",
+    "snoop_loss_regime",
+    "interactive_latency",
+    "energy_per_scheme",
+]
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    out_dir = Path(args.out_dir)
+    if not out_dir.is_dir():
+        print(
+            f"{out_dir} not found — run `pytest benchmarks/ --benchmark-only` first",
+            file=sys.stderr,
+        )
+        return 2
+    available = {p.stem: p for p in sorted(out_dir.glob("*.txt"))}
+    ordered = [n for n in _REPORT_ORDER if n in available]
+    ordered += [n for n in sorted(available) if n not in _REPORT_ORDER]
+    if not ordered:
+        print(f"no .txt outputs in {out_dir}", file=sys.stderr)
+        return 2
+    sections = ["# Benchmark report", "",
+                "Assembled from the figure benchmarks' saved outputs.", ""]
+    for name in ordered:
+        sections.append(f"## {name}")
+        sections.append("")
+        sections.append("```")
+        sections.append(available[name].read_text().rstrip())
+        sections.append("```")
+        sections.append("")
+    report_path = Path(args.output)
+    report_path.write_text("\n".join(sections))
+    print(f"wrote {report_path} ({len(ordered)} sections)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse tree for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="TCP-over-wireless reproduction (ICDCS '97): run the "
+        "paper's experiments from the command line.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("run", help="run one transfer and print metrics")
+    _add_common(p)
+    p.add_argument("--lan", action="store_true", help="LAN config instead of WAN")
+    p.add_argument("--packet-size", type=int, default=576)
+    p.add_argument("--bad-period", type=float, default=1.0)
+    p.add_argument("--transfer-kb", type=int, default=100)
+    p.set_defaults(func=_cmd_run)
+
+    p = sub.add_parser("trace", help="render a Figs 3-5 style trace")
+    _add_common(p)
+    p.add_argument("--width", type=int, default=100)
+    p.add_argument("--t-max", type=float, default=60.0)
+    p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser("sweep", help="packet-size (WAN) or bad-period (LAN) sweep")
+    _add_common(p)
+    p.add_argument("--lan", action="store_true")
+    p.add_argument("--bad-period", type=float, default=1.0)
+    p.add_argument("--transfer-kb", type=int, default=100)
+    p.add_argument("--replications", type=int, default=5)
+    p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser("figure", help="regenerate a paper figure's series")
+    p.add_argument("number", type=int, help="figure number (3-5, 7-11)")
+    p.add_argument("--replications", type=int, default=5)
+    p.set_defaults(func=_cmd_figure)
+
+    p = sub.add_parser("csdp", help="multi-connection scheduling study")
+    p.add_argument("--connections", type=int, default=4)
+    p.add_argument("--transfer-kb", type=int, default=50)
+    p.add_argument("--seed", type=int, default=1)
+    p.set_defaults(func=_cmd_csdp)
+
+    p = sub.add_parser("handoff", help="two-cell handoff study")
+    p.add_argument("--interval", type=float, default=8.0)
+    p.add_argument("--disconnect", type=float, default=0.3)
+    p.add_argument("--transfer-kb", type=int, default=60)
+    p.add_argument("--seeds", type=int, default=3)
+    p.set_defaults(func=_cmd_handoff)
+
+    p = sub.add_parser("congestion", help="congestion / ECN / EBSN interaction")
+    p.add_argument("--load", type=float, default=0.9)
+    p.add_argument("--seeds", type=int, default=3)
+    p.set_defaults(func=_cmd_congestion)
+
+    p = sub.add_parser("validate", help="run every claim check (\u2713/\u2717 report)")
+    p.add_argument("--scale", type=float, default=0.3, help="transfer scale factor")
+    p.add_argument("--seeds", type=int, default=3)
+    p.set_defaults(func=_cmd_validate)
+
+    p = sub.add_parser("report", help="assemble benchmark outputs into REPORT.md")
+    p.add_argument("--out-dir", default="benchmarks/out")
+    p.add_argument("--output", default="REPORT.md")
+    p.set_defaults(func=_cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

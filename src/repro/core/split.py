@@ -1,0 +1,192 @@
+"""Split-connection (I-TCP style) baseline — the §2 approach.
+
+Bakre & Badrinath's I-TCP and Yavatkar & Bhagwat's approach split the
+FH↔MH connection at the base station into two independent TCP
+connections: FH↔BS over the wired network and BS↔MH over the wireless
+hop.  The base station acknowledges data to the fixed host as soon as
+it arrives — *before* the mobile host has it — which is the paper's
+end-to-end-semantics criticism, and it must hold per-connection state
+(the relay buffer, a whole second TCP sender) — the paper's state-
+maintenance criticism.
+
+:class:`StreamSender` is a Tahoe sender fed incrementally by a relay
+instead of having a fixed transfer size.  :class:`SplitRelay` is the
+base-station half: the wired-side receiver (acks toward the fixed
+host) glued to the wireless-side :class:`StreamSender`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.engine import Simulator
+from repro.net.node import Node
+from repro.net.packet import (
+    ACK_PACKET_BYTES,
+    Address,
+    Datagram,
+    TcpAck,
+    TcpSegment,
+)
+from repro.tcp.tahoe import TahoeSender, TcpConfig
+
+
+class StreamSender(TahoeSender):
+    """A Tahoe sender over an incrementally fed byte stream.
+
+    ``push_payload`` appends bytes; ``close`` marks the end of the
+    stream.  Only whole segments are transmitted until the stream is
+    closed (the tail may then be a short segment), mirroring how a
+    relay drains its buffer.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.transfer_bytes = 0
+        self.total_segments = 0
+        self.closed = False
+        self.bytes_pushed = 0
+
+    def push_payload(self, nbytes: int) -> None:
+        """Feed ``nbytes`` more user data into the stream."""
+        if nbytes <= 0:
+            raise ValueError(f"nbytes must be positive, got {nbytes}")
+        if self.closed:
+            raise RuntimeError("cannot push into a closed stream")
+        self.bytes_pushed += nbytes
+        self._recompute_totals()
+        if self.stats.started_at is not None:
+            self._send_pending()
+
+    def close(self) -> None:
+        """No more data will arrive; flush the partial tail segment."""
+        self.closed = True
+        self._recompute_totals()
+        if self.stats.started_at is not None:
+            if self._transfer_finished():
+                self._complete()
+            else:
+                self._send_pending()
+
+    def _recompute_totals(self) -> None:
+        self.transfer_bytes = self.bytes_pushed
+        payload = self.config.segment_payload
+        if self.closed:
+            self.total_segments = -(-self.bytes_pushed // payload)
+        else:
+            self.total_segments = self.bytes_pushed // payload
+
+    def _transfer_finished(self) -> bool:
+        return self.closed and self.snd_una >= self.total_segments
+
+
+class SplitRelay:
+    """The base-station half of a split connection.
+
+    Wired side: behaves as the fixed host's receiver — cumulative ACKs
+    are returned immediately (the end-to-end violation).  Wireless
+    side: a fresh Tahoe connection from the BS to the mobile host,
+    optionally with its own packet size (a split connection may pick a
+    wireless-friendly segment size independent of the wired one).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node: Node,
+        wired_peer: Address = "FH",
+        mobile: Address = "MH",
+        wireless_packet_size: int = 576,
+        window_bytes: int = 4096,
+        transfer_bytes: Optional[int] = None,
+        clock_granularity: float = 0.1,
+    ) -> None:
+        self._sim = sim
+        self._node = node
+        self.wired_peer = wired_peer
+        self.mobile = mobile
+        #: Total bytes expected from the wired side (close the wireless
+        #: stream when they have all arrived); None = never closes.
+        self.transfer_bytes = transfer_bytes
+
+        self.wireless_sender = StreamSender(
+            sim,
+            node,
+            mobile,
+            config=TcpConfig(
+                packet_size=wireless_packet_size,
+                window_bytes=window_bytes,
+                transfer_bytes=1,  # placeholder; StreamSender resets totals
+                clock_granularity=clock_granularity,
+            ),
+        )
+        self.wireless_sender.start()
+
+        # Wired-side receiver state (segment-numbered, like TcpSink).
+        self.next_expected = 0
+        self._buffered_sizes: dict[int, int] = {}
+        self.bytes_accepted = 0
+        self.acks_sent = 0
+        self.buffer_occupancy_peak = 0
+
+    # -- wired side -----------------------------------------------------
+
+    def on_wired_data(self, datagram: Datagram) -> None:
+        """A data packet from the fixed host arrived at the BS."""
+        segment = datagram.payload
+        if not isinstance(segment, TcpSegment):
+            raise TypeError(f"relay got non-data payload {segment!r}")
+        seq = segment.seq
+        if seq == self.next_expected:
+            self._accept(segment.payload_bytes)
+            self.next_expected += 1
+            while self.next_expected in self._buffered_sizes:
+                self._accept(self._buffered_sizes.pop(self.next_expected))
+                self.next_expected += 1
+        elif seq > self.next_expected:
+            self._buffered_sizes.setdefault(seq, segment.payload_bytes)
+        self._ack_wired()
+
+    def _accept(self, payload_bytes: int) -> None:
+        self.bytes_accepted += payload_bytes
+        self.wireless_sender.push_payload(payload_bytes)
+        backlog = self.bytes_accepted - self._wireless_acked_bytes()
+        self.buffer_occupancy_peak = max(self.buffer_occupancy_peak, backlog)
+        if (
+            self.transfer_bytes is not None
+            and self.bytes_accepted >= self.transfer_bytes
+            and not self.wireless_sender.closed
+        ):
+            self.wireless_sender.close()
+
+    def _wireless_acked_bytes(self) -> int:
+        payload = self.wireless_sender.config.segment_payload
+        return min(
+            self.wireless_sender.snd_una * payload, self.wireless_sender.bytes_pushed
+        )
+
+    def _ack_wired(self) -> None:
+        ack = Datagram(
+            src=self._node.name,
+            dst=self.wired_peer,
+            payload=TcpAck(ack_seq=self.next_expected),
+            size_bytes=ACK_PACKET_BYTES,
+        )
+        self.acks_sent += 1
+        self._node.send(ack)
+
+    # -- wireless side ---------------------------------------------------
+
+    def on_wireless_ack(self, datagram: Datagram) -> None:
+        """An ACK from the mobile host for the BS↔MH connection."""
+        self.wireless_sender.receive(datagram)
+
+    def receive(self, datagram: Datagram) -> None:
+        """Agent entry point: dispatch by payload type."""
+        if isinstance(datagram.payload, TcpSegment):
+            self.on_wired_data(datagram)
+        elif isinstance(datagram.payload, TcpAck):
+            self.on_wireless_ack(datagram)
+        else:
+            # ICMP addressed to the BS itself — nothing to do.
+            pass

@@ -1,0 +1,45 @@
+"""Channel-State Dependent Packet scheduling (the [9] baseline of §2).
+
+Bhagwat, Bhattacharya, Krishna & Tripathi (INFOCOM '95) — summarized
+in the paper's related work — study *multiple* TCP connections sharing
+one base-station radio, each to a different mobile host with its own
+fading process.  Under FIFO scheduling, a head-of-line frame whose
+destination is in a fade blocks everyone; round-robin and
+channel-state-dependent (CSDP) scheduling restore the aggregate
+throughput.  The paper cites two findings this package reproduces:
+
+* "scheduling protocols such as round-robin provide significant
+  performance improvement over FIFO";
+* "the performance improvement achievable depends mostly on the
+  accuracy of the channel state predictor", and source timeouts remain
+  a problem CSDP does not address (EBSN is complementary).
+
+Components:
+
+* :class:`DownlinkRadio` — one transmitter at the BS serving N
+  destinations, with per-destination burst-error channels, stop-and-
+  wait-per-frame ARQ, and a pluggable scheduler;
+* :mod:`repro.csdp.scheduling` — FIFO, round-robin and CSDP policies;
+* :mod:`repro.csdp.study` — the N-connection topology and runner.
+"""
+
+from repro.csdp.radio import DownlinkRadio, RadioStats
+from repro.csdp.scheduling import (
+    CsdpScheduler,
+    FifoScheduler,
+    RoundRobinScheduler,
+    Scheduler,
+)
+from repro.csdp.study import CsdpStudyConfig, CsdpStudyResult, run_csdp_study
+
+__all__ = [
+    "DownlinkRadio",
+    "RadioStats",
+    "CsdpScheduler",
+    "FifoScheduler",
+    "RoundRobinScheduler",
+    "Scheduler",
+    "CsdpStudyConfig",
+    "CsdpStudyResult",
+    "run_csdp_study",
+]

@@ -1,0 +1,230 @@
+"""The shared downlink radio: one transmitter, many mobile hosts.
+
+Models the base station of the CSDP study: a single radio serving N
+destinations, each behind its own independently fading channel.  The
+radio transmits one frame at a time (stop-and-wait at the frame level:
+the outcome — link ACK or silence — is known one turnaround after the
+frame leaves the air, as on a half-duplex MAC).  A failed frame backs
+off and is retried up to ``rtmax`` times; what the radio does *while*
+a frame backs off is the scheduler's decision, and that is exactly
+where FIFO loses to round-robin and CSDP.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, Optional
+
+import random
+
+from repro.channel import TwoStateChannel
+from repro.csdp.scheduling import FifoScheduler, Scheduler
+from repro.engine import Simulator
+from repro.engine.simulator import Event
+from repro.linklayer import ArqConfig
+from repro.net.ip import Fragmenter, Reassembler
+from repro.net.packet import LINK_ACK_BYTES, Datagram, Fragment
+from repro.net.wireless import WirelessLinkConfig
+
+
+@dataclass
+class RadioStats:
+    """Counters for the shared radio."""
+
+    frames_accepted: int = 0
+    attempts: int = 0
+    attempt_failures: int = 0
+    frames_delivered: int = 0
+    frames_discarded: int = 0
+    siblings_dropped: int = 0
+    idle_blocked_time: float = 0.0
+    busy_time: float = 0.0
+
+
+@dataclass
+class _QueuedFrame:
+    fragment: Fragment
+    attempts: int = 0
+    ready_at: float = 0.0
+
+
+class DownlinkRadio:
+    """Base-station radio multiplexing N per-destination queues."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: WirelessLinkConfig,
+        channels: Dict[str, TwoStateChannel],
+        scheduler: Scheduler,
+        rng: random.Random,
+        deliver: Callable[[Datagram], None],
+        arq: Optional[ArqConfig] = None,
+        reassembly_timeout: float = 60.0,
+    ) -> None:
+        if not channels:
+            raise ValueError("need at least one destination channel")
+        self._sim = sim
+        self.config = config
+        self.channels = channels
+        self.scheduler = scheduler
+        self._rng = rng
+        self.deliver = deliver
+        frame_time = self.tx_time(config.mtu_bytes)
+        self.arq = arq or ArqConfig(
+            ack_timeout=1.0,  # unused: outcome is synchronous here
+            rtmax=13,
+            backoff_min=2.5 * frame_time,
+            backoff_max=7.5 * frame_time,
+        )
+        self.fragmenter = Fragmenter(config.mtu_bytes)
+        self.reassembler = Reassembler(sim, timeout=reassembly_timeout, name="radio")
+        self.queues: Dict[str, Deque[_QueuedFrame]] = {d: deque() for d in channels}
+        self.stats = RadioStats()
+        self._busy = False
+        self._wake_event: Optional[Event] = None
+        self._blocked_since: Optional[float] = None
+
+    # ------------------------------------------------------------------
+
+    def air_bytes(self, size_bytes: int) -> int:
+        """On-air size after physical-layer expansion."""
+        return int(round(size_bytes * self.config.overhead_factor))
+
+    def tx_time(self, size_bytes: int) -> float:
+        """Airtime of one frame of ``size_bytes``."""
+        return self.air_bytes(size_bytes) * 8 / self.config.raw_bandwidth_bps
+
+    @property
+    def turnaround(self) -> float:
+        """Propagation out, link-ACK airtime, propagation back."""
+        return 2 * self.config.prop_delay + self.tx_time(LINK_ACK_BYTES)
+
+    def send_datagram(self, datagram: Datagram) -> None:
+        """Queue a datagram for its destination."""
+        dest = datagram.dst
+        if dest not in self.queues:
+            raise KeyError(f"radio has no channel to {dest!r}")
+        for fragment in self.fragmenter.fragment(datagram):
+            self.queues[dest].append(_QueuedFrame(fragment))
+            self.stats.frames_accepted += 1
+            if isinstance(self.scheduler, FifoScheduler):
+                self.scheduler.note_arrival(dest)
+        self._pump()
+
+    def backlog(self, dest: str) -> int:
+        """Frames queued for one destination."""
+        return len(self.queues[dest])
+
+    # ------------------------------------------------------------------
+
+    def _pump(self) -> None:
+        if self._busy:
+            return
+        now = self._sim.now
+        ready = [d for d, q in self.queues.items() if q and q[0].ready_at <= now]
+        waiting = [d for d, q in self.queues.items() if q and q[0].ready_at > now]
+        if not ready and not waiting:
+            self._note_unblocked()
+            return
+        choice = self.scheduler.select(ready, waiting, now) if ready or waiting else None
+        if choice is None:
+            self._note_blocked()
+            self._schedule_wake(waiting, now)
+            return
+        self._note_unblocked()
+        self._transmit(choice)
+
+    def _note_blocked(self) -> None:
+        if self._blocked_since is None:
+            self._blocked_since = self._sim.now
+
+    def _note_unblocked(self) -> None:
+        if self._blocked_since is not None:
+            self.stats.idle_blocked_time += self._sim.now - self._blocked_since
+            self._blocked_since = None
+
+    def _schedule_wake(self, waiting, now: float) -> None:
+        candidates = [self.queues[d][0].ready_at for d in waiting]
+        hint = self.scheduler.earliest_retry(now)
+        if hint is not None and hint > now:
+            candidates.append(hint)
+        if not candidates:
+            candidates.append(now + 0.05)
+        wake_at = max(min(candidates), now + 1e-6)
+        if self._wake_event is not None:
+            self._wake_event.cancel()
+        self._wake_event = self._sim.schedule_at(wake_at, self._pump)
+
+    def _transmit(self, dest: str) -> None:
+        queued = self.queues[dest].popleft()
+        queued.attempts += 1
+        self._busy = True
+        size = queued.fragment.size_bytes
+        airtime = self.tx_time(size)
+        self.stats.attempts += 1
+        self.stats.busy_time += airtime
+
+        channel = self.channels[dest]
+        now = self._sim.now
+        frame_ok = not channel.corrupts(now, airtime, self.air_bytes(size) * 8)
+        ack_ok = False
+        if frame_ok:
+            ack_start = now + airtime + self.config.prop_delay
+            ack_ok = not channel.corrupts(
+                ack_start, self.tx_time(LINK_ACK_BYTES), self.air_bytes(LINK_ACK_BYTES) * 8
+            )
+        self._sim.schedule(
+            airtime + self.turnaround,
+            self._attempt_done,
+            dest,
+            queued,
+            frame_ok,
+            ack_ok,
+        )
+
+    def _attempt_done(
+        self, dest: str, queued: _QueuedFrame, frame_ok: bool, ack_ok: bool
+    ) -> None:
+        self._busy = False
+        self.scheduler.on_result(dest, ack_ok, self._sim.now)
+
+        if frame_ok:
+            # Receiver has it regardless of whether the ACK survived;
+            # the reassembler's duplicate guard absorbs re-deliveries.
+            datagram = self.reassembler.add(queued.fragment)
+            if datagram is not None:
+                self.stats.frames_delivered += 1
+                self.deliver(datagram)
+
+        if ack_ok:
+            if isinstance(self.scheduler, FifoScheduler):
+                self.scheduler.note_departure(dest)
+        else:
+            self.stats.attempt_failures += 1
+            if queued.attempts >= self.arq.rtmax:
+                self._discard(dest, queued)
+            else:
+                queued.ready_at = self._sim.now + self._rng.uniform(
+                    self.arq.backoff_min, self.arq.backoff_max
+                )
+                self.queues[dest].appendleft(queued)
+        self._pump()
+
+    def _discard(self, dest: str, queued: _QueuedFrame) -> None:
+        self.stats.frames_discarded += 1
+        if isinstance(self.scheduler, FifoScheduler):
+            self.scheduler.note_departure(dest)
+        if self.arq.drop_siblings:
+            uid = queued.fragment.datagram.uid
+            queue = self.queues[dest]
+            before = len(queue)
+            self.queues[dest] = deque(
+                qf for qf in queue if qf.fragment.datagram.uid != uid
+            )
+            dropped = before - len(self.queues[dest])
+            self.stats.siblings_dropped += dropped
+            if isinstance(self.scheduler, FifoScheduler):
+                for _ in range(dropped):
+                    self.scheduler.note_departure(dest)

@@ -1,0 +1,205 @@
+"""The CSDP study: N TCP connections sharing one base-station radio.
+
+Topology (one row per connection i):
+
+    FH_i ──wired──▶ BS ──(shared DownlinkRadio)──▶ MH_i
+    FH_i ◀──wired── BS ◀──(per-MH plain uplink)─── MH_i
+
+Each mobile host fades independently; the radio serves all of them
+under a configurable scheduler.  The TCP ACK path uses a per-MH plain
+uplink (no contention — the study isolates downlink scheduling, and
+the paper's §3.1 treats MAC delay as negligible).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.channel import markov_channel
+from repro.csdp.radio import DownlinkRadio, RadioStats
+from repro.csdp.scheduling import (
+    CsdpScheduler,
+    FifoScheduler,
+    RoundRobinScheduler,
+    Scheduler,
+)
+from repro.engine import RandomStreams, Simulator
+from repro.net.ip import Fragmenter, Reassembler
+from repro.net.link import WiredLink
+from repro.net.node import Node
+from repro.net.packet import data_frame
+from repro.net.wireless import WirelessLink, WirelessLinkConfig
+from repro.tcp import TahoeSender, TcpConfig, TcpSink
+
+
+@dataclass
+class CsdpStudyConfig:
+    """Parameters of one multi-connection run."""
+
+    scheduler: str = "fifo"  # "fifo" | "rr" | "csdp"
+    n_connections: int = 4
+    transfer_bytes: int = 50 * 1024
+    packet_size: int = 576
+    window_bytes: int = 4096
+    wired_bandwidth_bps: float = 2_000_000.0  # wired is never the bottleneck
+    wired_prop_delay: float = 0.005
+    wireless: WirelessLinkConfig = field(default_factory=WirelessLinkConfig)
+    good_period_mean: float = 4.0
+    bad_period_mean: float = 1.0
+    csdp_probe_interval: float = 0.5
+    seed: int = 1
+    max_sim_time: float = 50_000.0
+
+    def build_scheduler(self) -> Scheduler:
+        """Instantiate the configured scheduling policy."""
+        if self.scheduler == "fifo":
+            return FifoScheduler()
+        if self.scheduler == "rr":
+            return RoundRobinScheduler()
+        if self.scheduler == "csdp":
+            return CsdpScheduler(probe_interval=self.csdp_probe_interval)
+        raise ValueError(f"unknown scheduler {self.scheduler!r}")
+
+
+@dataclass
+class CsdpStudyResult:
+    """Aggregate and per-connection outcomes."""
+
+    config: CsdpStudyConfig
+    #: Total user payload delivered / time of last completion (bps).
+    aggregate_throughput_bps: float
+    per_connection_throughput_bps: List[float]
+    completion_times: List[float]
+    total_timeouts: int
+    radio: RadioStats
+    all_completed: bool
+    scheduler: Scheduler
+
+    @property
+    def fairness_index(self) -> float:
+        """Jain's fairness index over per-connection throughputs."""
+        xs = self.per_connection_throughput_bps
+        total = sum(xs)
+        squares = sum(x * x for x in xs)
+        if squares == 0:
+            return 0.0
+        return total * total / (len(xs) * squares)
+
+
+def run_csdp_study(config: CsdpStudyConfig) -> CsdpStudyResult:
+    """Build the N-connection topology and run all transfers."""
+    sim = Simulator()
+    streams = RandomStreams(config.seed)
+    n = config.n_connections
+    mh_names = [f"MH{i}" for i in range(n)]
+
+    bs = Node("BS")
+
+    # Independent fading per mobile host.
+    channels = {
+        name: markov_channel(
+            config.good_period_mean,
+            config.bad_period_mean,
+            rng=streams.stream(f"errors-{name}"),
+            sojourn_rng=streams.stream(f"sojourns-{name}"),
+        )
+        for name in mh_names
+    }
+
+    mh_nodes: Dict[str, Node] = {name: Node(name) for name in mh_names}
+    radio = DownlinkRadio(
+        sim,
+        config.wireless,
+        channels,
+        config.build_scheduler(),
+        rng=streams.stream("radio-backoff"),
+        deliver=lambda dg: mh_nodes[dg.dst].receive(dg),
+    )
+
+    senders: List[TahoeSender] = []
+    sinks: List[TcpSink] = []
+    remaining = {"count": n}
+
+    def one_done() -> None:
+        remaining["count"] -= 1
+        if remaining["count"] == 0:
+            sim.stop()
+
+    for i, mh_name in enumerate(mh_names):
+        fh_name = f"FH{i}"
+        fh = Node(fh_name)
+        mh = mh_nodes[mh_name]
+
+        wired_down = WiredLink(
+            sim, config.wired_bandwidth_bps, config.wired_prop_delay, name=f"{fh_name}->BS"
+        )
+        wired_up = WiredLink(
+            sim, config.wired_bandwidth_bps, config.wired_prop_delay, name=f"BS->{fh_name}"
+        )
+        wired_down.connect(bs.receive)
+        wired_up.connect(fh.receive)
+        fh.add_interface("wired", wired_down.send, mh_name, "BS")
+        bs.add_interface(f"wired-{i}", wired_up.send, fh_name)
+
+        # Plain per-MH uplink for TCP ACKs (shares the MH's fading).
+        uplink = WirelessLink(sim, config.wireless, channels[mh_name], name=f"{mh_name}->BS")
+        up_reassembler = Reassembler(sim, timeout=60.0, name=f"up-{mh_name}")
+        up_fragmenter = Fragmenter(config.wireless.mtu_bytes)
+
+        def on_uplink_frame(frame, _reasm=up_reassembler):
+            datagram = _reasm.add(frame.fragment)
+            if datagram is not None:
+                bs.receive(datagram)
+
+        uplink.connect(on_uplink_frame)
+
+        def send_uplink(datagram, _link=uplink, _frag=up_fragmenter):
+            for fragment in _frag.fragment(datagram):
+                _link.send(data_frame(fragment))
+
+        mh.add_interface("uplink", send_uplink, fh_name, "BS")
+
+        sender = TahoeSender(
+            sim,
+            fh,
+            mh_name,
+            config=TcpConfig(
+                packet_size=config.packet_size,
+                window_bytes=config.window_bytes,
+                transfer_bytes=config.transfer_bytes,
+            ),
+            on_complete=one_done,
+        )
+        fh.attach_agent(sender)
+        sink = TcpSink(sim, mh, fh_name)
+        mh.attach_agent(sink)
+        senders.append(sender)
+        sinks.append(sink)
+
+    bs.add_interface("radio", radio.send_datagram, *mh_names)
+
+    for sender in senders:
+        sender.start()
+    sim.run(until=config.max_sim_time)
+
+    completion_times = [
+        s.stats.completed_at if s.stats.completed_at is not None else sim.now
+        for s in senders
+    ]
+    per_conn = [
+        (sink.stats.useful_payload_bytes * 8 / t) if t > 0 else 0.0
+        for sink, t in zip(sinks, completion_times)
+    ]
+    total_payload = sum(sink.stats.useful_payload_bytes for sink in sinks)
+    span = max(completion_times) if completion_times else 0.0
+    return CsdpStudyResult(
+        config=config,
+        aggregate_throughput_bps=total_payload * 8 / span if span > 0 else 0.0,
+        per_connection_throughput_bps=per_conn,
+        completion_times=completion_times,
+        total_timeouts=sum(s.stats.timeouts for s in senders),
+        radio=radio.stats,
+        all_completed=all(s.completed for s in senders),
+        scheduler=radio.scheduler,
+    )

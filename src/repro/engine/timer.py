@@ -1,0 +1,70 @@
+"""Cancellable, re-armable timers on top of the event loop.
+
+TCP's retransmission timer and the link layer's ARQ timers both need
+the same primitive: arm for a delay, possibly re-arm before expiry
+(cancelling the previous deadline), and fire a callback on expiry.
+The EBSN mechanism is literally "re-arm the rtx timer at the current
+timeout", so this class is load-bearing for the paper's contribution.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.engine.simulator import Event, Simulator
+
+
+class Timer:
+    """A single-shot timer that can be restarted or cancelled.
+
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> t = Timer(sim, lambda: fired.append(sim.now))
+    >>> t.start(2.0)
+    >>> t.restart(5.0)   # supersedes the 2.0 deadline
+    >>> sim.run()
+    >>> fired
+    [5.0]
+    """
+
+    def __init__(self, sim: Simulator, callback: Callable[[], Any], name: str = "") -> None:
+        self._sim = sim
+        self._callback = callback
+        self._event: Optional[Event] = None
+        self.name = name
+        self.expiry_count = 0
+
+    @property
+    def pending(self) -> bool:
+        """True while armed and not yet expired."""
+        return self._event is not None and not self._event.cancelled
+
+    @property
+    def expiry_time(self) -> Optional[float]:
+        """Absolute time the timer will fire, or ``None`` if idle."""
+        if self.pending:
+            assert self._event is not None
+            return self._event.time
+        return None
+
+    def start(self, delay: float) -> None:
+        """Arm the timer.  Raises if already pending (use restart)."""
+        if self.pending:
+            raise RuntimeError(f"timer {self.name!r} already pending")
+        self._event = self._sim.schedule(delay, self._fire)
+
+    def restart(self, delay: float) -> None:
+        """Arm the timer for ``delay`` from now, cancelling any pending deadline."""
+        self.cancel()
+        self._event = self._sim.schedule(delay, self._fire)
+
+    def cancel(self) -> None:
+        """Disarm.  A no-op if the timer is idle."""
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _fire(self) -> None:
+        self._event = None
+        self.expiry_count += 1
+        self._callback()

@@ -1,0 +1,49 @@
+"""Experiment harness: topologies, per-figure configs, sweep runner.
+
+* :mod:`repro.experiments.topology` — builds the paper's three-node
+  FH—BS—MH simulation (Fig. 2) for any scheme (basic TCP, local
+  recovery, EBSN, source quench, snoop) and runs one connection.
+* :mod:`repro.experiments.config` — the exact parameter sets of the
+  paper's WAN (§5.1) and LAN (§5.2) studies.
+* :mod:`repro.experiments.runner` — seed replication, mean/stddev,
+  parameter sweeps.
+* :mod:`repro.experiments.figures` — one entry point per paper
+  figure, returning the data series the figure plots.
+* :mod:`repro.experiments.ascii_plot` — terminal rendering of series.
+"""
+
+from repro.experiments.topology import (
+    ChannelConfig,
+    Scenario,
+    ScenarioConfig,
+    ScenarioResult,
+    Scheme,
+)
+from repro.experiments.config import (
+    lan_scenario,
+    wan_scenario,
+    LAN_BAD_PERIODS,
+    LAN_GOOD_PERIOD,
+    WAN_BAD_PERIODS,
+    WAN_GOOD_PERIOD,
+    WAN_PACKET_SIZES,
+)
+from repro.experiments.runner import ReplicatedResult, run_replicated, sweep
+
+__all__ = [
+    "ChannelConfig",
+    "Scenario",
+    "ScenarioConfig",
+    "ScenarioResult",
+    "Scheme",
+    "lan_scenario",
+    "wan_scenario",
+    "LAN_BAD_PERIODS",
+    "LAN_GOOD_PERIOD",
+    "WAN_BAD_PERIODS",
+    "WAN_GOOD_PERIOD",
+    "WAN_PACKET_SIZES",
+    "ReplicatedResult",
+    "run_replicated",
+    "sweep",
+]

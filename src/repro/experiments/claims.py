@@ -1,0 +1,315 @@
+"""Programmatic validation of every claim this reproduction makes.
+
+Each :class:`Claim` pairs a sentence from the paper (or from our
+EXPERIMENTS.md) with an executable check.  ``python -m repro validate``
+runs them all and prints a ✓/✗ report — the artifact-evaluation view
+of the repository.  Checks run at a configurable scale: the default is
+sized for ~a minute of wall clock; the benchmarks remain the
+full-scale ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Tuple
+
+from repro.experiments.config import lan_scenario, trace_example_scenario, wan_scenario
+from repro.experiments.topology import Scheme, run_scenario
+from repro.metrics.theoretical import theoretical_throughput_bps
+
+
+@dataclass(frozen=True)
+class ClaimResult:
+    passed: bool
+    detail: str
+
+
+@dataclass(frozen=True)
+class Claim:
+    id: str
+    source: str
+    statement: str
+    check: Callable[[float, int], ClaimResult]
+
+    def evaluate(self, scale: float = 0.3, seeds: int = 3) -> ClaimResult:
+        """Run this claim's check at the given scale."""
+        return self.check(scale, seeds)
+
+
+def _mean_over_seeds(scheme, seeds, scale, **kwargs):
+    metrics = []
+    for seed in range(1, seeds + 1):
+        result = run_scenario(
+            wan_scenario(
+                scheme=scheme,
+                seed=seed,
+                transfer_bytes=int(100 * 1024 * scale),
+                record_trace=False,
+                **kwargs,
+            )
+        )
+        metrics.append(result.metrics)
+    return metrics
+
+
+def _check_fig3(scale, seeds) -> ClaimResult:
+    result = run_scenario(trace_example_scenario(Scheme.BASIC))
+    ok = result.metrics.timeouts >= 5 and result.metrics.goodput < 0.9
+    return ClaimResult(
+        ok,
+        f"basic TCP (frozen channel): {result.metrics.timeouts} timeouts, "
+        f"goodput {result.metrics.goodput:.2f}",
+    )
+
+
+def _check_fig5(scale, seeds) -> ClaimResult:
+    result = run_scenario(trace_example_scenario(Scheme.EBSN))
+    ok = result.metrics.timeouts == 0 and result.metrics.goodput > 0.99
+    return ClaimResult(
+        ok,
+        f"EBSN (frozen channel): {result.metrics.timeouts} timeouts, "
+        f"goodput {result.metrics.goodput:.2f}",
+    )
+
+
+def _check_local_recovery_timeouts(scale, seeds) -> ClaimResult:
+    timeouts = sum(
+        m.timeouts
+        for m in _mean_over_seeds(Scheme.LOCAL_RECOVERY, seeds, scale, bad_period_mean=4.0)
+    )
+    return ClaimResult(
+        timeouts > 0, f"local recovery alone: {timeouts} timeouts over {seeds} runs"
+    )
+
+
+def _check_quench_negative(scale, seeds) -> ClaimResult:
+    quench = sum(
+        m.timeouts
+        for m in _mean_over_seeds(Scheme.QUENCH, seeds, scale, bad_period_mean=4.0)
+    )
+    ebsn = sum(
+        m.timeouts
+        for m in _mean_over_seeds(Scheme.EBSN, seeds, scale, bad_period_mean=4.0)
+    )
+    return ClaimResult(
+        ebsn < quench and quench > 0,
+        f"timeouts over {seeds} runs: quench {quench}, EBSN {ebsn}",
+    )
+
+
+def _check_packet_size_optimum(scale, seeds) -> ClaimResult:
+    def mean_tput(size):
+        ms = _mean_over_seeds(
+            Scheme.BASIC, seeds, scale, packet_size=size, bad_period_mean=4.0
+        )
+        return sum(m.throughput_bps for m in ms) / len(ms)
+
+    small, mid, large = mean_tput(128), mean_tput(512), mean_tput(1536)
+    ok = mid > small and mid > large
+    return ClaimResult(
+        ok,
+        f"basic TCP tput (bps) at 128/512/1536 B: "
+        f"{small:.0f}/{mid:.0f}/{large:.0f}",
+    )
+
+
+def _check_ebsn_large_packets(scale, seeds) -> ClaimResult:
+    def mean_tput(size):
+        ms = _mean_over_seeds(
+            Scheme.EBSN, seeds, scale, packet_size=size, bad_period_mean=4.0
+        )
+        return sum(m.throughput_bps for m in ms) / len(ms)
+
+    small, large = mean_tput(128), mean_tput(1536)
+    tput_th = theoretical_throughput_bps(12_800, 10.0, 4.0)
+    ok = large > 1.15 * small and large > 0.7 * tput_th
+    return ClaimResult(
+        ok,
+        f"EBSN tput 128 B: {small:.0f} bps, 1536 B: {large:.0f} bps "
+        f"(tput_th {tput_th:.0f})",
+    )
+
+
+def _check_ebsn_doubles_basic(scale, seeds) -> ClaimResult:
+    basic = sum(
+        m.throughput_bps
+        for m in _mean_over_seeds(
+            Scheme.BASIC, seeds, scale, packet_size=1536, bad_period_mean=4.0
+        )
+    )
+    ebsn = sum(
+        m.throughput_bps
+        for m in _mean_over_seeds(
+            Scheme.EBSN, seeds, scale, packet_size=1536, bad_period_mean=4.0
+        )
+    )
+    ratio = ebsn / basic if basic else 0.0
+    return ClaimResult(ratio > 1.4, f"EBSN/basic at 1536 B, bad 4 s: {ratio:.2f}x")
+
+
+def _check_ebsn_low_retx(scale, seeds) -> ClaimResult:
+    basic = sum(
+        m.retransmitted_kbytes
+        for m in _mean_over_seeds(Scheme.BASIC, seeds, scale, bad_period_mean=4.0)
+    )
+    ebsn = sum(
+        m.retransmitted_kbytes
+        for m in _mean_over_seeds(Scheme.EBSN, seeds, scale, bad_period_mean=4.0)
+    )
+    return ClaimResult(
+        ebsn < 0.3 * basic,
+        f"retransmitted KB over {seeds} runs: basic {basic:.1f}, EBSN {ebsn:.1f}",
+    )
+
+
+def _check_lan(scale, seeds) -> ClaimResult:
+    def mean_tput(scheme):
+        total = 0.0
+        for seed in range(1, seeds + 1):
+            result = run_scenario(
+                lan_scenario(
+                    scheme=scheme,
+                    bad_period_mean=1.6,
+                    transfer_bytes=int(4 * 1024 * 1024 * scale),
+                    seed=seed,
+                )
+            )
+            total += result.metrics.throughput_bps
+        return total / seeds
+
+    basic, ebsn = mean_tput(Scheme.BASIC), mean_tput(Scheme.EBSN)
+    tput_th = theoretical_throughput_bps(2e6, 4.0, 1.6)
+    ok = ebsn > 1.1 * basic and ebsn > 0.8 * tput_th
+    return ClaimResult(
+        ok,
+        f"LAN bad 1.6 s: basic {basic / 1e6:.3f}, EBSN {ebsn / 1e6:.3f} Mbps "
+        f"(tput_th {tput_th / 1e6:.3f})",
+    )
+
+
+def _check_lan_goodput(scale, seeds) -> ClaimResult:
+    goodputs = []
+    for seed in range(1, seeds + 1):
+        result = run_scenario(
+            lan_scenario(
+                scheme=Scheme.EBSN,
+                bad_period_mean=0.8,
+                transfer_bytes=int(4 * 1024 * 1024 * scale),
+                seed=seed,
+            )
+        )
+        goodputs.append(result.metrics.goodput)
+    worst = min(goodputs)
+    return ClaimResult(worst > 0.97, f"EBSN LAN goodput (worst of {seeds}): {worst:.3f}")
+
+
+def _check_scheduling(scale, seeds) -> ClaimResult:
+    from repro.csdp import CsdpStudyConfig, run_csdp_study
+
+    def agg(sched):
+        total = 0.0
+        for seed in range(1, seeds + 1):
+            result = run_csdp_study(
+                CsdpStudyConfig(
+                    scheduler=sched,
+                    transfer_bytes=int(50 * 1024 * scale),
+                    seed=seed,
+                )
+            )
+            total += result.aggregate_throughput_bps
+        return total / seeds
+
+    fifo, rr = agg("fifo"), agg("rr")
+    return ClaimResult(
+        rr > 1.1 * fifo, f"aggregate bps: FIFO {fifo:.0f}, round-robin {rr:.0f}"
+    )
+
+
+def _check_handoff(scale, seeds) -> ClaimResult:
+    from repro.handoff import HandoffConfig, HandoffScheme, run_handoff_scenario
+
+    def timeouts(scheme):
+        total = 0
+        for seed in range(1, seeds + 1):
+            total += run_handoff_scenario(
+                HandoffConfig(
+                    scheme=scheme,
+                    handoff_interval=6.0,
+                    transfer_bytes=int(60 * 1024 * scale),
+                    seed=seed,
+                )
+            ).timeouts
+        return total
+
+    base, fast = timeouts(HandoffScheme.BASELINE), timeouts(HandoffScheme.FAST_RTX)
+    return ClaimResult(
+        fast < base / 2 and base > 0,
+        f"timeouts over {seeds} runs: baseline {base}, fast-rtx {fast}",
+    )
+
+
+def _check_congestion(scale, seeds) -> ClaimResult:
+    from repro.experiments.congestion import (
+        CongestedScenarioConfig,
+        run_congested_scenario,
+    )
+    from repro.tcp import TcpConfig
+
+    def run(ecn):
+        drops = 0
+        for seed in range(1, seeds + 1):
+            drops += run_congested_scenario(
+                CongestedScenarioConfig(
+                    scheme=Scheme.BASIC,
+                    ecn=ecn,
+                    cross_load=0.9,
+                    seed=seed,
+                    tcp=TcpConfig(transfer_bytes=int(60 * 1024 * scale)),
+                )
+            ).bottleneck_drops
+        return drops
+
+    plain, ecn = run(False), run(True)
+    return ClaimResult(
+        ecn < plain and plain > 0,
+        f"bottleneck drops over {seeds} runs: no ECN {plain}, ECN {ecn}",
+    )
+
+
+def _check_ebsn_stateless(scale, seeds) -> ClaimResult:
+    result = run_scenario(
+        wan_scenario(Scheme.EBSN, transfer_bytes=int(20 * 1024 * scale))
+    )
+    stateful = {
+        k: v
+        for k, v in vars(result.ebsn).items()
+        if not k.startswith("_") and not isinstance(v, (int, float, type(None)))
+    }
+    return ClaimResult(
+        not stateful, f"EBSN generator non-scalar state: {sorted(stateful) or 'none'}"
+    )
+
+
+CLAIMS: List[Claim] = [
+    Claim("fig3", "Fig 3", "basic TCP stalls and retransmits every bad period", _check_fig3),
+    Claim("fig5", "Fig 5", "EBSN: no timeouts, goodput 100% (frozen channel)", _check_fig5),
+    Claim("s421", "§4.2.1", "source timeouts still occur during local recovery", _check_local_recovery_timeouts),
+    Claim("s422", "§4.2.2", "source quench cannot prevent timeouts; EBSN can", _check_quench_negative),
+    Claim("fig7", "Fig 7", "basic TCP has an interior optimal packet size", _check_packet_size_optimum),
+    Claim("fig8", "Fig 8", "with EBSN, larger packets win and approach tput_th", _check_ebsn_large_packets),
+    Claim("head", "§5.1", "EBSN ~doubles basic TCP at 1536 B / bad 4 s", _check_ebsn_doubles_basic),
+    Claim("fig9", "Fig 9", "EBSN nearly eliminates source retransmissions", _check_ebsn_low_retx),
+    Claim("fig10", "Fig 10", "LAN: EBSN beats basic and tracks tput_th", _check_lan),
+    Claim("fig11", "Fig 11", "LAN: EBSN goodput ≈ 100%", _check_lan_goodput),
+    Claim("adv", "§6", "EBSN keeps no per-connection state at the BS", _check_ebsn_stateless),
+    Claim("csdp", "§2/[9]", "round-robin scheduling ≫ FIFO for multiple MHs", _check_scheduling),
+    Claim("hand", "§2/[4]", "forced fast retransmit removes handoff timeouts", _check_handoff),
+    Claim("cong", "§6/[18]", "ECN marking absorbs wired congestion drops", _check_congestion),
+]
+
+
+def validate_all(
+    scale: float = 0.3, seeds: int = 3
+) -> List[Tuple[Claim, ClaimResult]]:
+    """Evaluate every claim; returns (claim, result) pairs in order."""
+    return [(claim, claim.evaluate(scale, seeds)) for claim in CLAIMS]

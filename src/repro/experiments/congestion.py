@@ -1,0 +1,250 @@
+"""Wired congestion and the ECN/EBSN interaction (§6 future work).
+
+The paper assumes an uncongested wired network and defers "the impact
+of congestion in the wired network on the effectiveness of EBSN ...
+[and] the interaction between ECN and EBSN" to follow-up work.  This
+module builds that experiment:
+
+    FH ──fast──▶ R ══ 56 kbps bottleneck (bounded queue, optional ECN
+    XS ──fast──▶ R     marking) ══▶ BS ──wireless──▶ MH
+
+``XS`` is a constant-bit-rate cross-traffic source that terminates at
+the base station, loading the bottleneck to a configurable fraction of
+its capacity.  Congestion now produces *real* drops (or ECN marks) on
+the wired segment while the wireless hop keeps producing fades, so a
+source may receive congestion signals and EBSNs in the same
+connection: ECN must shrink the window, EBSN must only re-arm the
+timer, and neither may mask the other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.ebsn import EbsnGenerator, install_ebsn_handler
+from repro.engine import RandomStreams, Simulator
+from repro.linklayer import LinkLayerMode, WirelessPort
+from repro.metrics import ConnectionMetrics, compute_metrics
+from repro.net.link import WiredLink
+from repro.net.node import Node
+from repro.net.packet import Datagram, TcpSegment
+from repro.net.wireless import WirelessLink, WirelessLinkConfig
+from repro.experiments.topology import ChannelConfig, ScenarioConfig, Scheme
+from repro.tcp import TahoeSender, TcpConfig, TcpSink
+
+
+class CbrSource:
+    """Constant-bit-rate cross traffic (UDP-like: no feedback, no
+    retransmission)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node: Node,
+        dst: str,
+        rate_bps: float,
+        packet_size: int = 576,
+    ) -> None:
+        if rate_bps <= 0:
+            raise ValueError(f"rate must be positive, got {rate_bps}")
+        self._sim = sim
+        self._node = node
+        self.dst = dst
+        self.rate_bps = rate_bps
+        self.packet_size = packet_size
+        self.interval = packet_size * 8 / rate_bps
+        self.packets_sent = 0
+        self._seq = 0
+        self._running = False
+
+    def start(self) -> None:
+        """Begin emitting packets at the configured rate."""
+        self._running = True
+        self._sim.schedule(self.interval, self._tick)
+
+    def stop(self) -> None:
+        """Stop emitting (pending ticks become no-ops)."""
+        self._running = False
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        segment = TcpSegment(
+            seq=self._seq, payload_bytes=self.packet_size - 40, sent_at=self._sim.now
+        )
+        self._seq += 1
+        self._node.send(
+            Datagram(self._node.name, self.dst, segment, self.packet_size)
+        )
+        self.packets_sent += 1
+        self._sim.schedule(self.interval, self._tick)
+
+
+class CbrSink:
+    """Counts cross-traffic arrivals at the base station."""
+
+    def __init__(self) -> None:
+        self.packets_received = 0
+        self.bytes_received = 0
+
+    def receive(self, datagram: Datagram) -> None:
+        """Count one cross-traffic arrival."""
+        self.packets_received += 1
+        self.bytes_received += datagram.size_bytes
+
+
+@dataclass
+class CongestedScenarioConfig:
+    """One run of the congestion/ECN/EBSN interaction experiment."""
+
+    scheme: Scheme = Scheme.BASIC  # BASIC or EBSN
+    ecn: bool = False
+    #: Cross-traffic load as a fraction of the bottleneck capacity.
+    cross_load: float = 0.5
+    bottleneck_bps: float = 56_000.0
+    bottleneck_queue_packets: int = 10
+    ecn_threshold_packets: int = 4
+    access_bps: float = 1_000_000.0
+    wired_prop_delay: float = 0.01
+    tcp: TcpConfig = field(
+        default_factory=lambda: TcpConfig(transfer_bytes=60 * 1024)
+    )
+    channel: ChannelConfig = field(default_factory=ChannelConfig)
+    wireless: WirelessLinkConfig = field(default_factory=WirelessLinkConfig)
+    seed: int = 1
+    max_sim_time: float = 50_000.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.cross_load < 1.5:
+            raise ValueError(f"cross_load out of range: {self.cross_load}")
+        if self.scheme not in (Scheme.BASIC, Scheme.EBSN):
+            raise ValueError("congestion study supports BASIC and EBSN only")
+
+
+@dataclass
+class CongestedScenarioResult:
+    metrics: ConnectionMetrics
+    completed: bool
+    bottleneck_drops: int
+    ecn_marks: int
+    ecn_responses: int
+    ebsn_received: int
+    timeouts: int
+    fast_retransmits: int
+    cross_packets_delivered: int
+
+
+def run_congested_scenario(config: CongestedScenarioConfig) -> CongestedScenarioResult:
+    """Build and run the FH/XS → R → BS → MH topology."""
+    sim = Simulator()
+    streams = RandomStreams(config.seed)
+    channel = config.channel.build(streams)
+
+    fh, xs, router, bs, mh = (Node(n) for n in ("FH", "XS", "R", "BS", "MH"))
+
+    # Access links into the router (never the bottleneck).
+    fh_r = WiredLink(sim, config.access_bps, config.wired_prop_delay, name="FH->R")
+    xs_r = WiredLink(sim, config.access_bps, config.wired_prop_delay, name="XS->R")
+    # The bottleneck, with a bounded queue and optional ECN marking.
+    r_bs = WiredLink(
+        sim,
+        config.bottleneck_bps,
+        config.wired_prop_delay,
+        queue_capacity=config.bottleneck_queue_packets,
+        ecn_threshold=config.ecn_threshold_packets if config.ecn else None,
+        name="R->BS",
+    )
+    # Reverse path (ACKs, EBSNs) — uncongested.
+    bs_r = WiredLink(sim, config.bottleneck_bps, config.wired_prop_delay, name="BS->R")
+    r_fh = WiredLink(sim, config.access_bps, config.wired_prop_delay, name="R->FH")
+
+    fh_r.connect(router.receive)
+    xs_r.connect(router.receive)
+    r_bs.connect(bs.receive)
+    bs_r.connect(router.receive)
+    r_fh.connect(fh.receive)
+
+    fh.add_interface("wired", fh_r.send, "MH", "BS", "R")
+    xs.add_interface("wired", xs_r.send, "BS")
+    router.add_interface("down", r_bs.send, "MH", "BS")
+    router.add_interface("up", r_fh.send, "FH")
+    bs.add_interface("up", bs_r.send, "FH")
+
+    # Wireless hop (same machinery as the main scenarios).
+    downlink = WirelessLink(sim, config.wireless, channel, name="BS->MH")
+    uplink = WirelessLink(sim, config.wireless, channel, name="MH->BS")
+    base = ScenarioConfig(
+        scheme=config.scheme, wireless=config.wireless, tcp=config.tcp
+    )
+    arq = base.derived_arq()
+    mode = LinkLayerMode.PLAIN if config.scheme is Scheme.BASIC else LinkLayerMode.ARQ
+
+    ebsn_generator: Optional[EbsnGenerator] = None
+    feedback = None
+    if config.scheme is Scheme.EBSN:
+        ebsn_generator = EbsnGenerator(bs)
+        feedback = ebsn_generator
+
+    cross_sink = CbrSink()
+
+    def bs_deliver(datagram: Datagram) -> None:
+        bs.receive(datagram)
+
+    bs_port = WirelessPort(
+        sim,
+        "BS.wl",
+        out_link=downlink,
+        deliver=bs_deliver,
+        mode=mode,
+        arq_config=arq,
+        rng=streams.stream("bs-arq"),
+        feedback=feedback,
+    )
+    mh_port = WirelessPort(
+        sim,
+        "MH.wl",
+        out_link=uplink,
+        deliver=mh.receive,
+        mode=mode,
+        arq_config=arq,
+        rng=streams.stream("mh-arq"),
+    )
+    downlink.connect(mh_port.receive_frame)
+    uplink.connect(bs_port.receive_frame)
+    bs.add_interface("wireless", bs_port.send_datagram, "MH")
+    mh.add_interface("wireless", mh_port.send_datagram, "FH", "BS")
+    bs.attach_agent(cross_sink)
+
+    sender = TahoeSender(
+        sim, fh, "MH", config=config.tcp, on_complete=sim.stop
+    )
+    sender.ecn_enabled = config.ecn
+    fh.attach_agent(sender)
+    sink = TcpSink(sim, mh, "FH", header_bytes=config.tcp.header_bytes)
+    mh.attach_agent(sink)
+    if config.scheme is Scheme.EBSN:
+        install_ebsn_handler(sender)
+
+    cross = CbrSource(
+        sim,
+        xs,
+        "BS",
+        rate_bps=config.cross_load * config.bottleneck_bps,
+        packet_size=config.tcp.packet_size,
+    )
+    cross.start()
+    sender.start()
+    sim.run(until=config.max_sim_time)
+
+    return CongestedScenarioResult(
+        metrics=compute_metrics(sender, sink),
+        completed=sender.completed,
+        bottleneck_drops=r_bs.queue.stats.dropped,
+        ecn_marks=r_bs.ecn_marks,
+        ecn_responses=sender.stats.ecn_responses,
+        ebsn_received=sender.stats.ebsn_received,
+        timeouts=sender.stats.timeouts,
+        fast_retransmits=sender.stats.fast_retransmits,
+        cross_packets_delivered=cross_sink.packets_received,
+    )

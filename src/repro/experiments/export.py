@@ -1,0 +1,95 @@
+"""CSV export of experiment results.
+
+Downstream users plot with their own tools; these helpers flatten
+sweep results into simple CSV files.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, Mapping, Union
+
+from repro.experiments.runner import ReplicatedResult
+
+
+def sweep_to_csv(
+    points: Mapping[Union[int, float], ReplicatedResult],
+    path: Union[str, Path],
+    x_name: str = "x",
+) -> Path:
+    """Write one sweep (x -> ReplicatedResult) as CSV.
+
+    Columns: the swept variable, throughput mean/std/CI95 (bps),
+    goodput, retransmitted KB, timeouts per run, duration, and the
+    theoretical maximum.
+    """
+    path = Path(path)
+    with path.open("w", newline="") as fp:
+        writer = csv.writer(fp)
+        writer.writerow(
+            [
+                x_name,
+                "throughput_bps_mean",
+                "throughput_bps_std",
+                "throughput_ci95_bps",
+                "goodput_mean",
+                "retransmitted_kbytes_mean",
+                "timeouts_mean",
+                "duration_mean_s",
+                "tput_th_bps",
+                "replications",
+            ]
+        )
+        for x, r in sorted(points.items()):
+            writer.writerow(
+                [
+                    x,
+                    f"{r.throughput_bps_mean:.3f}",
+                    f"{r.throughput_bps_std:.3f}",
+                    f"{r.throughput_ci95_bps:.3f}",
+                    f"{r.goodput_mean:.6f}",
+                    f"{r.retransmitted_kbytes_mean:.3f}",
+                    f"{r.timeouts_mean:.3f}",
+                    f"{r.duration_mean:.3f}",
+                    f"{r.tput_th_bps:.3f}",
+                    r.replications,
+                ]
+            )
+    return path
+
+
+def series_to_csv(
+    series: Dict[str, Mapping[Union[int, float], ReplicatedResult]],
+    path: Union[str, Path],
+    x_name: str = "x",
+) -> Path:
+    """Write several named sweeps side by side (long format).
+
+    Columns: series label, the swept variable, throughput mean (bps),
+    goodput, retransmitted KB.
+    """
+    path = Path(path)
+    with path.open("w", newline="") as fp:
+        writer = csv.writer(fp)
+        writer.writerow(
+            [
+                "series",
+                x_name,
+                "throughput_bps_mean",
+                "goodput_mean",
+                "retransmitted_kbytes_mean",
+            ]
+        )
+        for label, points in series.items():
+            for x, r in sorted(points.items()):
+                writer.writerow(
+                    [
+                        label,
+                        x,
+                        f"{r.throughput_bps_mean:.3f}",
+                        f"{r.goodput_mean:.6f}",
+                        f"{r.retransmitted_kbytes_mean:.3f}",
+                    ]
+                )
+    return path

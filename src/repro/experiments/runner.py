@@ -1,0 +1,160 @@
+"""Replication and sweeping.
+
+The paper reports results with "standard deviation ... less than 4%";
+each point is therefore an average over several seeds.
+:func:`run_replicated` runs one configuration over N seeds and
+aggregates; :func:`sweep` maps that over a parameter list.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, Iterable, List, Sequence, TypeVar
+
+from repro.experiments.topology import ScenarioConfig, ScenarioResult, run_scenario
+
+T = TypeVar("T")
+
+
+#: Two-sided 95% Student-t critical values by degrees of freedom
+#: (1..30); beyond 30 the normal value 1.96 is close enough.
+_T95 = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+    2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+    2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+]
+
+
+def t95(dof: int) -> float:
+    """95% two-sided Student-t critical value."""
+    if dof < 1:
+        raise ValueError(f"degrees of freedom must be >= 1, got {dof}")
+    return _T95[dof - 1] if dof <= len(_T95) else 1.96
+
+
+@dataclass(frozen=True)
+class ReplicatedResult:
+    """Aggregate of one configuration over several seeds."""
+
+    config: ScenarioConfig
+    replications: int
+    throughput_bps_mean: float
+    throughput_bps_std: float
+    goodput_mean: float
+    retransmitted_kbytes_mean: float
+    timeouts_mean: float
+    duration_mean: float
+    tput_th_bps: float
+    results: tuple
+
+    @property
+    def throughput_kbps(self) -> float:
+        return self.throughput_bps_mean / 1000.0
+
+    @property
+    def throughput_mbps(self) -> float:
+        return self.throughput_bps_mean / 1e6
+
+    @property
+    def throughput_rel_std(self) -> float:
+        """Relative standard deviation (the paper keeps this < 4%)."""
+        if self.throughput_bps_mean == 0:
+            return 0.0
+        return self.throughput_bps_std / self.throughput_bps_mean
+
+    @property
+    def throughput_ci95_bps(self) -> float:
+        """Half-width of the 95% confidence interval on the mean (bps)."""
+        if self.replications < 2:
+            return 0.0
+        return (
+            t95(self.replications - 1)
+            * self.throughput_bps_std
+            / math.sqrt(self.replications)
+        )
+
+    def throughput_differs_from(self, other: "ReplicatedResult") -> bool:
+        """True when the two 95% CIs on mean throughput do not overlap
+        (a conservative significance check for scheme comparisons)."""
+        low_self = self.throughput_bps_mean - self.throughput_ci95_bps
+        high_self = self.throughput_bps_mean + self.throughput_ci95_bps
+        low_other = other.throughput_bps_mean - other.throughput_ci95_bps
+        high_other = other.throughput_bps_mean + other.throughput_ci95_bps
+        return high_self < low_other or high_other < low_self
+
+
+def _mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values)
+
+
+def _std(values: Sequence[float]) -> float:
+    if len(values) < 2:
+        return 0.0
+    mean = _mean(values)
+    return math.sqrt(sum((v - mean) ** 2 for v in values) / (len(values) - 1))
+
+
+def run_replicated(
+    config: ScenarioConfig,
+    replications: int = 5,
+    base_seed: int = 1,
+) -> ReplicatedResult:
+    """Run ``config`` over ``replications`` seeds and aggregate.
+
+    Seeds are ``base_seed + i``; each run gets fully independent
+    channel/backoff randomness via the seed-derived substreams.
+    """
+    if replications < 1:
+        raise ValueError(f"replications must be >= 1, got {replications}")
+    results: List[ScenarioResult] = []
+    for i in range(replications):
+        run_config = replace(config, seed=base_seed + i, record_trace=False)
+        result = run_scenario(run_config)
+        if not result.completed:
+            raise RuntimeError(
+                f"run with seed {base_seed + i} did not complete within "
+                f"{run_config.max_sim_time} simulated seconds "
+                f"(scheme={run_config.scheme.value}, "
+                f"packet={run_config.tcp.packet_size})"
+            )
+        results.append(result)
+
+    throughputs = [r.metrics.throughput_bps for r in results]
+    return ReplicatedResult(
+        config=config,
+        replications=replications,
+        throughput_bps_mean=_mean(throughputs),
+        throughput_bps_std=_std(throughputs),
+        goodput_mean=_mean([r.metrics.goodput for r in results]),
+        retransmitted_kbytes_mean=_mean(
+            [r.metrics.retransmitted_kbytes for r in results]
+        ),
+        timeouts_mean=_mean([float(r.metrics.timeouts) for r in results]),
+        duration_mean=_mean([r.metrics.duration for r in results]),
+        tput_th_bps=results[0].tput_th_bps,
+        results=tuple(results),
+    )
+
+
+def sweep(
+    values: Iterable[T],
+    make_config: Callable[[T], ScenarioConfig],
+    replications: int = 5,
+    base_seed: int = 1,
+) -> Dict[T, ReplicatedResult]:
+    """Run a replicated experiment for every value of a swept parameter.
+
+    >>> from repro.experiments.config import wan_scenario
+    >>> points = sweep(
+    ...     [576],
+    ...     lambda size: wan_scenario(packet_size=size, transfer_bytes=10_240),
+    ...     replications=1,
+    ... )
+    >>> 576 in points
+    True
+    """
+    return {
+        value: run_replicated(make_config(value), replications, base_seed)
+        for value in values
+    }

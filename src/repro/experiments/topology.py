@@ -1,0 +1,419 @@
+"""The paper's simulation setup (Fig. 2), for every scheme.
+
+A :class:`Scenario` wires the three-node chain
+
+    FH (TCP source) --- wired --- BS --- wireless --- MH (TCP sink)
+
+with the requested recovery scheme and runs one bulk transfer to
+completion, returning a :class:`ScenarioResult` with the connection
+metrics, the source packet trace, and all component statistics.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.channel import (
+    BernoulliLossChannel,
+    deterministic_channel,
+    markov_channel,
+    matched_loss_probability,
+)
+from repro.core.ebsn import EbsnGenerator, install_ebsn_handler
+from repro.core.quench import QuenchGenerator, install_quench_handler
+from repro.core.snoop import SnoopAgent
+from repro.core.split import SplitRelay
+from repro.engine import RandomStreams, Simulator
+from repro.linklayer import ArqConfig, LinkLayerMode, WirelessPort
+from repro.metrics import ConnectionMetrics, PacketTrace, compute_metrics
+from repro.metrics.theoretical import theoretical_throughput_bps
+from repro.net.link import WiredLink
+from repro.net.node import Node
+from repro.net.packet import LINK_ACK_BYTES, Datagram, TcpAck, TcpSegment
+from repro.net.wireless import WirelessLink, WirelessLinkConfig
+from repro.tcp import NewRenoSender, RenoSender, TahoeSender, TcpConfig, TcpSink
+
+
+class Scheme(enum.Enum):
+    """The recovery schemes the paper compares."""
+
+    BASIC = "basic"  # TCP Tahoe end to end, nothing else (Fig 3)
+    LOCAL_RECOVERY = "local_recovery"  # + link-layer ARQ (Fig 4)
+    EBSN = "ebsn"  # + ARQ + explicit bad state notification (Fig 5)
+    QUENCH = "quench"  # + ARQ + ICMP source quench (§4.2.2)
+    SNOOP = "snoop"  # snoop-style agent at the BS (§2 baseline)
+    SPLIT = "split"  # I-TCP style split connection (§2 baseline)
+
+
+@dataclass
+class ChannelConfig:
+    """Burst-error model parameters (§3.1)."""
+
+    good_period_mean: float = 10.0
+    bad_period_mean: float = 1.0
+    ber_good: float = 1e-6
+    ber_bad: float = 1e-2
+    #: Frozen sojourns + deterministic corruption (the Figs 3–5 example).
+    deterministic: bool = False
+    #: Replace the burst process with i.i.d. per-frame loss of the
+    #: same average rate (the snoop-friendly regime; §2 comparison).
+    uniform: bool = False
+
+    def build(self, streams: RandomStreams):
+        """Construct the configured channel from seeded substreams."""
+        if self.uniform:
+            if self.deterministic:
+                raise ValueError("uniform and deterministic are exclusive")
+            return BernoulliLossChannel(
+                matched_loss_probability(
+                    self.good_period_mean,
+                    self.bad_period_mean,
+                    ber_good=self.ber_good,
+                    ber_bad=self.ber_bad,
+                ),
+                rng=streams.stream("channel-errors"),
+            )
+        if self.deterministic:
+            return deterministic_channel(
+                self.good_period_mean,
+                self.bad_period_mean,
+                ber_good=self.ber_good,
+                ber_bad=self.ber_bad,
+            )
+        return markov_channel(
+            self.good_period_mean,
+            self.bad_period_mean,
+            rng=streams.stream("channel-errors"),
+            sojourn_rng=streams.stream("channel-sojourns"),
+            ber_good=self.ber_good,
+            ber_bad=self.ber_bad,
+        )
+
+
+@dataclass
+class ScenarioConfig:
+    """Everything needed to build and run one connection."""
+
+    scheme: Scheme = Scheme.BASIC
+    tcp: TcpConfig = field(default_factory=TcpConfig)
+    channel: ChannelConfig = field(default_factory=ChannelConfig)
+    wireless: WirelessLinkConfig = field(default_factory=WirelessLinkConfig)
+    #: Optional distinct physical parameters for the MH->BS direction
+    #: (asymmetric radios, e.g. a low-power return channel); None =
+    #: symmetric, as the paper assumes.
+    wireless_up: Optional[WirelessLinkConfig] = None
+    wired_bandwidth_bps: float = 56_000.0
+    wired_prop_delay: float = 0.01
+    arq: Optional[ArqConfig] = None  # None = derive from link parameters
+    tcp_variant: str = "tahoe"  # or "reno" / "newreno"
+    seed: int = 1
+    record_trace: bool = True
+    record_cwnd: bool = False
+    #: Simulation abort horizon (a stuck run is an error, not a hang).
+    max_sim_time: float = 50_000.0
+    quench_queue_threshold: int = 8
+    quench_min_interval: float = 0.5
+    snoop_local_timeout: Optional[float] = None
+    #: Packet size for the BS->MH leg of a split connection; None =
+    #: reuse the wired packet size.
+    split_wireless_packet_size: Optional[int] = None
+    #: RFC 1122 delayed ACKs at the sink (the paper's ns sink ACKed
+    #: every segment; this is the ack-clocking ablation knob).
+    delayed_acks: bool = False
+    #: Override the sender class (e.g. MessageSender for interactive
+    #: workloads); receives the same constructor arguments the
+    #: tcp_variant classes do.  None = use ``tcp_variant``.
+    sender_factory: Optional[type] = None
+    #: EBSN heartbeat interval (s): keep notifying between ARQ attempts
+    #: while the link is failing.  None = per-attempt only (the paper).
+    ebsn_heartbeat: Optional[float] = None
+
+    def derived_arq(self) -> ArqConfig:
+        """ARQ parameters scaled to the wireless link's timescales.
+
+        The link-ACK timeout must cover a round trip plus the chance
+        that the reverse direction is busy serializing an MTU-sized
+        frame; the random backoff is of the order of a frame time, per
+        the aggressive-retransmission protocol of [9]/[12].
+        """
+        if self.arq is not None:
+            return self.arq
+        cfg = self.wireless
+        frame_time = (
+            int(round(cfg.mtu_bytes * cfg.overhead_factor)) * 8 / cfg.raw_bandwidth_bps
+        )
+        ack_time = (
+            int(round(LINK_ACK_BYTES * cfg.overhead_factor)) * 8 / cfg.raw_bandwidth_bps
+        )
+        ack_timeout = 2 * cfg.prop_delay + ack_time + frame_time + 0.01
+        # Backoff sized so that the RTmax=13 attempt budget spans the
+        # long tail of fades (13 cycles ≈ 8 s for the WAN numbers) —
+        # the paper's local recovery rides out its bad periods, and an
+        # ARQ that gives up inside a fade forces end-to-end recovery
+        # that EBSN cannot paper over (see the RTmax ablation bench).
+        return ArqConfig(
+            ack_timeout=ack_timeout,
+            rtmax=13,
+            backoff_min=2.5 * frame_time,
+            backoff_max=7.5 * frame_time,
+        )
+
+
+@dataclass
+class ScenarioResult:
+    """Output of one scenario run."""
+
+    metrics: ConnectionMetrics
+    completed: bool
+    trace: Optional[PacketTrace]
+    config: ScenarioConfig
+    #: Theoretical maximum throughput under this error condition (bps).
+    tput_th_bps: float
+    sender: TahoeSender
+    sink: TcpSink
+    downlink: WirelessLink
+    uplink: WirelessLink
+    bs_port: WirelessPort
+    mh_port: WirelessPort
+    ebsn: Optional[EbsnGenerator] = None
+    quench: Optional[QuenchGenerator] = None
+    snoop: Optional[SnoopAgent] = None
+    split: Optional[SplitRelay] = None
+
+
+class Scenario:
+    """Builds the Fig. 2 topology for a config and runs it."""
+
+    def __init__(self, config: ScenarioConfig) -> None:
+        self.config = config
+        self.sim = Simulator()
+        self.streams = RandomStreams(config.seed)
+        self.channel = config.channel.build(self.streams)
+
+        self.fh = Node("FH")
+        self.bs = Node("BS")
+        self.mh = Node("MH")
+
+        # Wired hop (duplex = two unidirectional links).
+        self.wired_down = WiredLink(
+            self.sim, config.wired_bandwidth_bps, config.wired_prop_delay, name="FH->BS"
+        )
+        self.wired_up = WiredLink(
+            self.sim, config.wired_bandwidth_bps, config.wired_prop_delay, name="BS->FH"
+        )
+
+        # Wireless hop; both directions share the fading channel.
+        uplink_config = config.wireless_up or config.wireless
+        self.downlink = WirelessLink(self.sim, config.wireless, self.channel, name="BS->MH")
+        self.uplink = WirelessLink(self.sim, uplink_config, self.channel, name="MH->BS")
+
+        arq = config.derived_arq()
+        mode = (
+            LinkLayerMode.PLAIN
+            if config.scheme in (Scheme.BASIC, Scheme.SNOOP, Scheme.SPLIT)
+            else LinkLayerMode.ARQ
+        )
+
+        # Scheme-specific feedback at the base station.
+        self.ebsn_generator: Optional[EbsnGenerator] = None
+        self.quench_generator: Optional[QuenchGenerator] = None
+        self.snoop_agent: Optional[SnoopAgent] = None
+        self.split_relay: Optional[SplitRelay] = None
+        feedback = None
+        if config.scheme is Scheme.EBSN:
+            self.ebsn_generator = EbsnGenerator(
+                self.bs,
+                sim=self.sim,
+                heartbeat_interval=config.ebsn_heartbeat,
+            )
+            feedback = self.ebsn_generator
+        elif config.scheme is Scheme.QUENCH:
+            self.quench_generator = QuenchGenerator(
+                self.sim,
+                self.bs,
+                queue_threshold=config.quench_queue_threshold,
+                min_interval=config.quench_min_interval,
+            )
+            feedback = self.quench_generator
+
+        self.bs_port = WirelessPort(
+            self.sim,
+            "BS.wl",
+            out_link=self.downlink,
+            deliver=self._bs_deliver,
+            mode=mode,
+            arq_config=arq,
+            rng=self.streams.stream("bs-arq"),
+            feedback=feedback,
+        )
+        self.mh_port = WirelessPort(
+            self.sim,
+            "MH.wl",
+            out_link=self.uplink,
+            deliver=self.mh.receive,
+            mode=mode,
+            arq_config=arq,
+            rng=self.streams.stream("mh-arq"),
+        )
+        self.downlink.connect(self.mh_port.receive_frame)
+        self.uplink.connect(self.bs_port.receive_frame)
+
+        # Routing.
+        self.fh.add_interface("wired", self.wired_down.send, "MH", "BS")
+        self.bs.add_interface("wired", self.wired_up.send, "FH")
+        self.bs.add_interface("wireless", self._bs_send_wireless, "MH")
+        self.mh.add_interface("wireless", self.mh_port.send_datagram, "FH", "BS")
+        self.wired_down.connect(self._bs_wired_arrival)
+        self.wired_up.connect(self.fh.receive)
+
+        # Transport.  For a split connection the fixed host's sender
+        # finishes early (the relay ACKs on arrival at the BS), so the
+        # run ends when the *sink* has all the data.
+        is_split = config.scheme is Scheme.SPLIT
+        self.trace = PacketTrace() if config.record_trace else None
+        if config.sender_factory is not None:
+            sender_cls = config.sender_factory
+        else:
+            sender_cls = {
+                "tahoe": TahoeSender,
+                "reno": RenoSender,
+                "newreno": NewRenoSender,
+            }[config.tcp_variant]
+        self.sender = sender_cls(
+            self.sim,
+            self.fh,
+            "MH",
+            config=config.tcp,
+            trace=self.trace,
+            on_complete=None if is_split else self.sim.stop,
+            record_cwnd=config.record_cwnd,
+        )
+        self.fh.attach_agent(self.sender)
+        self.sink = TcpSink(
+            self.sim,
+            self.mh,
+            "BS" if is_split else "FH",
+            header_bytes=config.tcp.header_bytes,
+            expected_bytes=config.tcp.transfer_bytes if is_split else None,
+            on_complete=self.sim.stop if is_split else None,
+            delayed_acks=config.delayed_acks,
+        )
+        self.mh.attach_agent(self.sink)
+
+        if config.scheme is Scheme.EBSN:
+            install_ebsn_handler(self.sender)
+        elif config.scheme is Scheme.QUENCH:
+            install_quench_handler(self.sender)
+        elif config.scheme is Scheme.SNOOP:
+            frame_time = self.downlink.tx_time(config.wireless.mtu_bytes)
+            timeout = (
+                config.snoop_local_timeout
+                if config.snoop_local_timeout is not None
+                else max(0.1, 8 * frame_time)
+            )
+            self.snoop_agent = SnoopAgent(
+                self.sim,
+                send_wireless=self.bs_port.send_datagram,
+                send_wired=self.bs.routing.forward,
+                local_timeout=timeout,
+            )
+        elif config.scheme is Scheme.SPLIT:
+            self.split_relay = SplitRelay(
+                self.sim,
+                self.bs,
+                wired_peer="FH",
+                mobile="MH",
+                wireless_packet_size=(
+                    config.split_wireless_packet_size
+                    if config.split_wireless_packet_size is not None
+                    else config.tcp.packet_size
+                ),
+                window_bytes=config.tcp.window_bytes,
+                transfer_bytes=config.tcp.transfer_bytes,
+                clock_granularity=config.tcp.clock_granularity,
+            )
+            self.bs.attach_agent(self.split_relay)
+
+    # -- BS plumbing -----------------------------------------------------
+
+    def _bs_send_wireless(self, datagram: Datagram) -> None:
+        if self.quench_generator is not None and isinstance(
+            datagram.payload, TcpSegment
+        ):
+            self.quench_generator.note_data_source(datagram.src)
+        self.bs_port.send_datagram(datagram)
+
+    def _bs_wired_arrival(self, datagram: Datagram) -> None:
+        """Datagrams arriving at the BS from the wired network."""
+        if (
+            self.snoop_agent is not None
+            and isinstance(datagram.payload, TcpSegment)
+            and datagram.dst == "MH"
+        ):
+            self.snoop_agent.on_wired_data(datagram)
+            return
+        if (
+            self.split_relay is not None
+            and isinstance(datagram.payload, TcpSegment)
+            and datagram.dst == "MH"
+        ):
+            self.split_relay.on_wired_data(datagram)
+            return
+        self.bs.receive(datagram)
+
+    def _bs_deliver(self, datagram: Datagram) -> None:
+        """Datagrams reassembled from the wireless uplink at the BS."""
+        if self.snoop_agent is not None and isinstance(datagram.payload, TcpAck):
+            self.snoop_agent.on_wireless_ack(datagram)
+            return
+        self.bs.receive(datagram)
+
+    # -- running ----------------------------------------------------------
+
+    def run(self) -> ScenarioResult:
+        """Run the transfer to completion (or the abort horizon)."""
+        self.sender.start()
+        self.sim.run(until=self.config.max_sim_time)
+        if self.split_relay is not None:
+            completed = self.sink.completed
+        else:
+            completed = self.sender.completed
+        metrics = compute_metrics(
+            self.sender,
+            self.sink,
+            end_at=self.sink.stats.last_data_at if self.split_relay else None,
+        )
+        tput_th = theoretical_throughput_bps(
+            self.config.wireless.effective_bandwidth_bps,
+            self.config.channel.good_period_mean,
+            self.config.channel.bad_period_mean,
+        )
+        return ScenarioResult(
+            metrics=metrics,
+            completed=completed,
+            trace=self.trace,
+            config=self.config,
+            tput_th_bps=tput_th,
+            sender=self.sender,
+            sink=self.sink,
+            downlink=self.downlink,
+            uplink=self.uplink,
+            bs_port=self.bs_port,
+            mh_port=self.mh_port,
+            ebsn=self.ebsn_generator,
+            quench=self.quench_generator,
+            snoop=self.snoop_agent,
+            split=self.split_relay,
+        )
+
+
+def run_scenario(config: ScenarioConfig) -> ScenarioResult:
+    """Build and run one scenario (convenience wrapper)."""
+    return Scenario(config).run()
+
+
+def with_scheme(config: ScenarioConfig, scheme: Scheme) -> ScenarioConfig:
+    """A copy of ``config`` with a different recovery scheme."""
+    return replace(config, scheme=scheme)

@@ -1,0 +1,35 @@
+"""Handoffs — the companion problem ([4], [17]).
+
+The paper excludes handoffs from its study ("In a separate study [17],
+we have proposed schemes to improve the performance of TCP in the
+presence of handoffs") and summarizes Caceres & Iftode [4], who showed
+that TCP stalls for close to a full (800 ms-ish) timeout after every
+cell crossing and proposed forcing *fast retransmit* right after the
+handoff completes.  This package builds that study:
+
+* a two-base-station topology with a mobile host that periodically
+  hands off between them, going deaf for a configurable disconnection
+  interval;
+* packets queued at the old base station are dropped (the baseline) or
+  forwarded to the new one over the wired network;
+* the mobile host can trigger the Caceres-Iftode recovery: re-send its
+  current cumulative ACK three times on reattachment, forcing the
+  source into fast retransmit instead of waiting out the timer.
+
+Schemes compared by the benchmark: baseline, fast retransmit,
+forwarding, and fast retransmit + forwarding.
+"""
+
+from repro.handoff.topology import (
+    HandoffConfig,
+    HandoffResult,
+    HandoffScheme,
+    run_handoff_scenario,
+)
+
+__all__ = [
+    "HandoffConfig",
+    "HandoffResult",
+    "HandoffScheme",
+    "run_handoff_scenario",
+]

@@ -1,0 +1,332 @@
+"""The two-cell handoff topology and scenario runner.
+
+    FH ──wired──▶ R ──▶ BS1 ─┐
+                 │           ├─ wireless ─ MH  (attached to one BS)
+                 └──▶ BS2 ──┘
+
+The mobile host alternates between the base stations every
+``handoff_interval`` seconds; each crossing disconnects it for
+``disconnect_time``.  The router learns the new location when the
+mobile host reattaches (registration is piggybacked on reattachment,
+as in Mobile-IP-style schemes with instantaneous binding updates — the
+disconnection interval models the whole outage).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.channel import markov_channel
+from repro.engine import RandomStreams, Simulator
+from repro.metrics import ConnectionMetrics, compute_metrics
+from repro.net.ip import Fragmenter, Reassembler
+from repro.net.link import WiredLink
+from repro.net.node import Node
+from repro.net.packet import Datagram, TcpAck, data_frame
+from repro.net.queues import DropTailQueue
+from repro.net.wireless import WirelessLink, WirelessLinkConfig
+from repro.tcp import TahoeSender, TcpConfig, TcpSink
+
+
+class HandoffScheme(enum.Enum):
+    """Recovery schemes for cell crossings."""
+
+    BASELINE = "baseline"  # old-BS queue dropped; timeout recovers
+    FAST_RTX = "fast_rtx"  # MH forces fast retransmit on reattach [4]
+    FORWARD = "forward"  # old BS forwards its queue to the new BS
+    FAST_RTX_FORWARD = "fast_rtx_forward"  # both
+
+
+@dataclass
+class HandoffConfig:
+    """Parameters of one handoff run."""
+
+    scheme: HandoffScheme = HandoffScheme.BASELINE
+    handoff_interval: float = 8.0
+    disconnect_time: float = 0.3
+    transfer_bytes: int = 100 * 1024
+    packet_size: int = 576
+    window_bytes: int = 4096
+    wired_bandwidth_bps: float = 256_000.0
+    wired_prop_delay: float = 0.005
+    wireless: WirelessLinkConfig = field(default_factory=WirelessLinkConfig)
+    #: Fading is kept mild by default to isolate the handoff effect.
+    good_period_mean: float = 1000.0
+    bad_period_mean: float = 0.01
+    seed: int = 1
+    max_sim_time: float = 50_000.0
+
+    def __post_init__(self) -> None:
+        if self.handoff_interval <= 0:
+            raise ValueError("handoff_interval must be positive")
+        if self.disconnect_time < 0:
+            raise ValueError("disconnect_time must be >= 0")
+        if self.disconnect_time >= self.handoff_interval:
+            raise ValueError("disconnect_time must be shorter than the interval")
+
+
+class CellPort:
+    """A base station's simple (fire-and-forget) wireless port, with a
+    holdable datagram queue so handoffs can drop or forward it."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        link: WirelessLink,
+        mtu_bytes: int,
+    ) -> None:
+        self._sim = sim
+        self.name = name
+        self.link = link
+        self.fragmenter = Fragmenter(mtu_bytes)
+        self.queue: DropTailQueue[Datagram] = DropTailQueue(name=f"{name}.q")
+        self.attached = False
+        self._sending = False
+        self.datagrams_dropped_in_handoff = 0
+        self.datagrams_forwarded = 0
+
+    def send_datagram(self, datagram: Datagram) -> None:
+        """Queue a datagram for this cell's radio."""
+        self.queue.offer(datagram, datagram.size_bytes)
+        self._drain()
+
+    def _drain(self) -> None:
+        """Transmit one datagram at a time, so the backlog stays in the
+        (handoff-manageable) datagram queue rather than being dumped
+        into the radio's frame queue."""
+        if not self.attached or self._sending:
+            return
+        datagram = self.queue.poll()
+        if datagram is None:
+            return
+        self._sending = True
+        fragments = self.fragmenter.fragment(datagram)
+        for fragment in fragments[:-1]:
+            self.link.send(data_frame(fragment))
+        self.link.send(data_frame(fragments[-1]), on_tx_complete=self._datagram_done)
+
+    def _datagram_done(self, frame) -> None:
+        self._sending = False
+        self._drain()
+
+    def attach(self) -> None:
+        """The mobile host entered this cell: resume transmission."""
+        self.attached = True
+        self._drain()
+
+    def detach(self) -> None:
+        """The mobile host left: hold the queue."""
+        self.attached = False
+
+    def take_queue(self) -> List[Datagram]:
+        """Remove and return all held datagrams (for forwarding)."""
+        datagrams = list(self.queue)
+        self.queue.clear()
+        return datagrams
+
+    def drop_queue(self) -> int:
+        """Discard all held datagrams; returns how many."""
+        dropped = self.queue.clear()
+        self.datagrams_dropped_in_handoff += dropped
+        return dropped
+
+
+@dataclass
+class HandoffResult:
+    metrics: ConnectionMetrics
+    completed: bool
+    handoffs: int
+    timeouts: int
+    fast_retransmits: int
+    datagrams_dropped_in_handoffs: int
+    datagrams_forwarded: int
+    #: Source-silent gaps longer than half the disconnect time — the
+    #: post-handoff stalls [4] measured.
+    stall_time_total: float
+
+
+def run_handoff_scenario(config: HandoffConfig) -> HandoffResult:
+    """Run one transfer across periodic handoffs."""
+    sim = Simulator()
+    streams = RandomStreams(config.seed)
+
+    fh, router, mh = Node("FH"), Node("R"), Node("MH")
+    bs_nodes = {name: Node(name) for name in ("BS1", "BS2")}
+
+    # Wired mesh.
+    fh_r = WiredLink(sim, config.wired_bandwidth_bps, config.wired_prop_delay, name="FH->R")
+    r_fh = WiredLink(sim, config.wired_bandwidth_bps, config.wired_prop_delay, name="R->FH")
+    fh_r.connect(router.receive)
+    r_fh.connect(fh.receive)
+    fh.add_interface("wired", fh_r.send, "MH", "R")
+    router.add_interface("up", r_fh.send, "FH")
+
+    # Per-BS wired spurs and wireless cells (independent channels).
+    ports: Dict[str, CellPort] = {}
+    r_to_bs: Dict[str, WiredLink] = {}
+    mh_uplinks: Dict[str, WirelessLink] = {}
+    mh_reassembler = Reassembler(sim, timeout=30.0, name="mh")
+    bs_reassemblers: Dict[str, Reassembler] = {}
+
+    mh_attached_to: Dict[str, Optional[str]] = {"cell": None}
+
+    def mh_receive_frame(frame, cell_name: str) -> None:
+        if mh_attached_to["cell"] != cell_name:
+            return  # out of range: the MH is not listening to this cell
+        datagram = mh_reassembler.add(frame.fragment)
+        if datagram is not None:
+            mh.receive(datagram)
+
+    for name in ("BS1", "BS2"):
+        channel = markov_channel(
+            config.good_period_mean,
+            config.bad_period_mean,
+            rng=streams.stream(f"errors-{name}"),
+            sojourn_rng=streams.stream(f"sojourns-{name}"),
+        )
+        down = WirelessLink(sim, config.wireless, channel, name=f"{name}->MH")
+        up = WirelessLink(sim, config.wireless, channel, name=f"MH->{name}")
+        down.connect(lambda frame, cell=name: mh_receive_frame(frame, cell))
+        bs_reasm = Reassembler(sim, timeout=30.0, name=f"{name}.up")
+        bs_reassemblers[name] = bs_reasm
+
+        def bs_uplink_frame(frame, node=bs_nodes[name], reasm=bs_reasm):
+            datagram = reasm.add(frame.fragment)
+            if datagram is not None:
+                node.receive(datagram)
+
+        up.connect(bs_uplink_frame)
+        mh_uplinks[name] = up
+
+        ports[name] = CellPort(sim, name, down, config.wireless.mtu_bytes)
+        bs_nodes[name].add_interface("radio", ports[name].send_datagram, "MH")
+
+        spur_down = WiredLink(
+            sim, config.wired_bandwidth_bps, config.wired_prop_delay, name=f"R->{name}"
+        )
+        spur_up = WiredLink(
+            sim, config.wired_bandwidth_bps, config.wired_prop_delay, name=f"{name}->R"
+        )
+        spur_down.connect(bs_nodes[name].receive)
+        spur_up.connect(router.receive)
+        bs_nodes[name].add_interface("wired", spur_up.send, "FH", "R", "BS1", "BS2")
+        r_to_bs[name] = spur_down
+
+    # The router forwards MH traffic toward the serving cell; during a
+    # disconnection it keeps pointing at the *old* cell (binding
+    # updates arrive only on reattachment), so packets sent during the
+    # outage pile up at the old base station.
+    route_state = {"target": "BS1"}
+    router.routing.add_route("MH", lambda dg: r_to_bs[route_state["target"]].send(dg))
+    router.routing.add_route("BS1", r_to_bs["BS1"].send)
+    router.routing.add_route("BS2", r_to_bs["BS2"].send)
+
+    # MH's uplink follows its attachment.
+    mh_fragmenter = Fragmenter(config.wireless.mtu_bytes)
+
+    def mh_send(datagram: Datagram) -> None:
+        cell = mh_attached_to["cell"]
+        if cell is None:
+            return  # disconnected: ack lost
+        for fragment in mh_fragmenter.fragment(datagram):
+            mh_uplinks[cell].send(data_frame(fragment))
+
+    mh.add_interface("uplink", mh_send, "FH", "R")
+
+    # Transport.
+    from repro.metrics import PacketTrace
+
+    trace = PacketTrace()
+    sender = TahoeSender(
+        sim,
+        fh,
+        "MH",
+        config=TcpConfig(
+            packet_size=config.packet_size,
+            window_bytes=config.window_bytes,
+            transfer_bytes=config.transfer_bytes,
+        ),
+        on_complete=sim.stop,
+        trace=trace,
+    )
+    fh.attach_agent(sender)
+    sink = TcpSink(sim, mh, "FH")
+    mh.attach_agent(sink)
+
+    # Handoff machinery.
+    counters = {"handoffs": 0}
+    forward_queue = config.scheme in (
+        HandoffScheme.FORWARD,
+        HandoffScheme.FAST_RTX_FORWARD,
+    )
+    force_fast_rtx = config.scheme in (
+        HandoffScheme.FAST_RTX,
+        HandoffScheme.FAST_RTX_FORWARD,
+    )
+
+    def flush_old_cell(old: str, new: str) -> None:
+        """Dispose of datagrams stranded at the old base station."""
+        if forward_queue:
+            stranded = ports[old].take_queue()
+            ports[old].datagrams_forwarded += len(stranded)
+            # BS-to-BS forwarding crosses the wired mesh (two hops).
+            for i, datagram in enumerate(stranded):
+                delay = 2 * config.wired_prop_delay + (i + 1) * (
+                    datagram.size_bytes * 8 / config.wired_bandwidth_bps
+                )
+                sim.schedule(delay, ports[new].send_datagram, datagram)
+        else:
+            ports[old].drop_queue()
+
+    def attach(cell: str) -> None:
+        old = route_state["target"]
+        mh_attached_to["cell"] = cell
+        route_state["target"] = cell  # binding update reaches the router
+        ports[cell].attach()
+        if old != cell:
+            # Anything that arrived at the old cell during the outage.
+            flush_old_cell(old, cell)
+        if force_fast_rtx and counters["handoffs"] > 0:
+            # Caceres-Iftode: the MH re-sends its current cumulative
+            # ACK three times, forcing the source's fast retransmit.
+            for _ in range(3):
+                ack = Datagram(
+                    "MH", "FH", TcpAck(ack_seq=sink.next_expected), 40
+                )
+                mh.send(ack)
+
+    def handoff() -> None:
+        if sender.completed:
+            return
+        old = mh_attached_to["cell"]
+        new = "BS2" if old == "BS1" else "BS1"
+        counters["handoffs"] += 1
+        mh_attached_to["cell"] = None
+        ports[old].detach()
+        flush_old_cell(old, new)
+        sim.schedule(config.disconnect_time, attach, new)
+        sim.schedule(config.handoff_interval, handoff)
+
+    attach("BS1")
+    sim.schedule(config.handoff_interval, handoff)
+    sender.start()
+    sim.run(until=config.max_sim_time)
+
+    metrics = compute_metrics(sender, sink)
+    stall_threshold = max(0.5, 2 * config.disconnect_time)
+    stalls = trace.idle_gaps(min_gap=stall_threshold)
+    return HandoffResult(
+        metrics=metrics,
+        completed=sender.completed,
+        handoffs=counters["handoffs"],
+        timeouts=sender.stats.timeouts,
+        fast_retransmits=sender.stats.fast_retransmits,
+        datagrams_dropped_in_handoffs=sum(
+            p.datagrams_dropped_in_handoff for p in ports.values()
+        ),
+        datagrams_forwarded=sum(p.datagrams_forwarded for p in ports.values()),
+        stall_time_total=sum(b - a for a, b in stalls),
+    )

@@ -1,0 +1,22 @@
+"""Link layer of the wireless hop: framing, ARQ local recovery, delivery.
+
+:class:`WirelessPort` is one endpoint's attachment to the wireless
+link.  The base station and the mobile host each own one port per
+direction pair; a port fragments outgoing datagrams, transmits them in
+``PLAIN`` (fire-and-forget) or ``ARQ`` (the paper's "local recovery":
+stop-and-wait with link acknowledgements, random retransmission
+backoff and an RTmax discard limit) mode, link-acknowledges and
+reassembles incoming traffic, and exposes feedback hooks from which
+the base station's EBSN / source-quench generators hang.
+"""
+
+from repro.linklayer.arq import ArqConfig, ArqStats
+from repro.linklayer.port import FeedbackHooks, LinkLayerMode, WirelessPort
+
+__all__ = [
+    "ArqConfig",
+    "ArqStats",
+    "FeedbackHooks",
+    "LinkLayerMode",
+    "WirelessPort",
+]

@@ -1,0 +1,98 @@
+"""Configuration and counters for the link-layer ARQ (local recovery).
+
+The paper's local recovery (§4.2.1, after Bhagwat et al. and the CDPD
+spec) is aggressive retransmission with packet discard: if no link
+acknowledgement follows a transmission, the frame is retransmitted
+after a random backoff, up to ``rtmax`` total attempts (CDPD: 13)
+before being discarded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass
+class ArqConfig:
+    """Parameters of the stop-and-wait link-layer ARQ.
+
+    ``ack_timeout`` is the time the transmitter waits *after the frame
+    has fully left the radio* for the link ACK.  It must cover one
+    round of propagation, the ACK's airtime, and the chance that the
+    reverse link is busy serializing a data frame; topology builders
+    compute it from the link parameters.
+    """
+
+    ack_timeout: float = 0.25
+    #: Maximum successive transmissions of one frame before discard
+    #: (the paper sets the CDPD value, 13).
+    rtmax: int = 13
+    #: Random retransmission backoff, uniform in [min, max] seconds.
+    backoff_min: float = 0.02
+    backoff_max: float = 0.2
+    #: Frames that may be unacknowledged at once.  1 = stop-and-wait;
+    #: a small window (default 4) keeps the radio busy across the
+    #: link-ACK turnaround, as the aggressive-retransmission protocol
+    #: of [9] does.  Failing frames occupy window slots, so a deep fade
+    #: still blocks the queue (the head-of-line behaviour CSDP [9]
+    #: observed) rather than dumping everything into the fade.
+    window: int = 4
+    #: When a fragment is discarded after rtmax attempts, also drop the
+    #: queued sibling fragments of the same datagram (the datagram can
+    #: no longer reassemble, so sending them only wastes airtime).
+    drop_siblings: bool = True
+    #: Deliver frames to the network layer in link-sequence order, as
+    #: RLP-style local recovery does.  Without this, a retried frame
+    #: overtaken by its successors produces TCP duplicate ACKs and a
+    #: spurious fast retransmit at the source.
+    in_order_delivery: bool = True
+    #: How long the receiver holds out-of-order frames before flushing
+    #: past a gap (covers the transmitter's full retry horizon).
+    #: None = derive from rtmax/ack_timeout/backoff.
+    resequencing_flush: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.ack_timeout <= 0:
+            raise ValueError(f"ack_timeout must be positive, got {self.ack_timeout}")
+        if self.rtmax < 1:
+            raise ValueError(f"rtmax must be >= 1, got {self.rtmax}")
+        if self.backoff_min < 0 or self.backoff_max < self.backoff_min:
+            raise ValueError(
+                f"need 0 <= backoff_min <= backoff_max, got "
+                f"[{self.backoff_min}, {self.backoff_max}]"
+            )
+        if self.window < 1:
+            raise ValueError(f"window must be >= 1, got {self.window}")
+        if self.resequencing_flush is not None and self.resequencing_flush <= 0:
+            raise ValueError("resequencing_flush must be positive or None")
+
+    def derived_flush(self) -> float:
+        """Resequencing flush timeout: the full retry horizon plus margin."""
+        if self.resequencing_flush is not None:
+            return self.resequencing_flush
+        return self.rtmax * (self.ack_timeout + self.backoff_max) + 1.0
+
+
+@dataclass
+class ArqStats:
+    """Counters kept by each port's ARQ transmitter."""
+
+    frames_accepted: int = 0
+    first_transmissions: int = 0
+    link_retransmissions: int = 0
+    link_acks_received: int = 0
+    stale_link_acks: int = 0
+    ack_timeouts: int = 0
+    frames_discarded: int = 0
+    siblings_dropped: int = 0
+    rx_duplicates: int = 0
+    rx_out_of_order: int = 0
+    rx_gap_flushes: int = 0
+
+    def attempts_per_frame(self) -> float:
+        """Mean transmissions per accepted frame."""
+        if not self.frames_accepted:
+            return 0.0
+        total = self.first_transmissions + self.link_retransmissions
+        return total / self.frames_accepted

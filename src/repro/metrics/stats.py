@@ -1,0 +1,101 @@
+"""Connection-level performance metrics.
+
+Derived from the sender's and sink's raw counters after a run.  All
+byte quantities are "on-wire at the wired-network packet level"
+(payload + 40 B header), matching how the paper reports throughput;
+pure-payload variants are also provided.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.tcp.sink import TcpSink
+from repro.tcp.tahoe import TahoeSender
+
+
+@dataclass(frozen=True)
+class ConnectionMetrics:
+    """Everything the paper's figures read off one connection."""
+
+    #: Wall-clock (simulated) duration from start to final ACK, seconds.
+    duration: float
+    #: User data delivered over duration — bps.  This is the paper's
+    #: throughput metric: "the ratio of the total data received by the
+    #: end user and the connection time", with the 40 B/packet header
+    #: taken into account as overhead (§5) — i.e. headers excluded.
+    throughput_bps: float
+    #: Delivered bytes *including* headers, over duration — bps; this
+    #: is what approaches the link's effective bandwidth when the link
+    #: is fully utilized.
+    wire_throughput_bps: float
+    #: Useful wire bytes delivered / wire bytes sent by the source.
+    goodput: float
+    #: Total source transmissions that were retransmissions, bytes.
+    retransmitted_bytes: int
+    #: The same in KB, the unit of Figs 9 and 11.
+    retransmitted_kbytes: float
+    segments_sent: int
+    retransmissions: int
+    timeouts: int
+    fast_retransmits: int
+    bytes_sent_wire: int
+    useful_wire_bytes: int
+
+    @property
+    def throughput_kbps(self) -> float:
+        """Throughput in kbit/s (the unit of Figs 7–8)."""
+        return self.throughput_bps / 1000.0
+
+    @property
+    def throughput_mbps(self) -> float:
+        """Throughput in Mbit/s (the unit of Fig 10)."""
+        return self.throughput_bps / 1e6
+
+
+def compute_metrics(
+    sender: TahoeSender, sink: TcpSink, end_at: "float | None" = None
+) -> ConnectionMetrics:
+    """Summarize a completed (or aborted) transfer.
+
+    ``end_at`` overrides the connection end time — split-connection
+    runs pass the sink's last delivery, because the fixed-host sender
+    "completes" as soon as the base station has buffered everything.
+    For an incomplete transfer the duration runs to the last sink
+    activity.
+    """
+    stats = sender.stats
+    if stats.started_at is None:
+        raise ValueError("sender never started")
+    end = end_at if end_at is not None else stats.completed_at
+    if end is None:
+        # Fall back to the last time data reached the sink.
+        end = sink.stats.last_data_at if sink.stats.last_data_at is not None else stats.started_at
+    duration = max(end - stats.started_at, 0.0)
+
+    useful_wire = sink.stats.useful_wire_bytes
+    useful_payload = sink.stats.useful_payload_bytes
+    sent_wire = stats.bytes_sent_wire
+
+    if duration > 0:
+        throughput = useful_payload * 8 / duration
+        wire_throughput = useful_wire * 8 / duration
+    else:
+        throughput = 0.0
+        wire_throughput = 0.0
+    goodput = useful_wire / sent_wire if sent_wire else 0.0
+
+    return ConnectionMetrics(
+        duration=duration,
+        throughput_bps=throughput,
+        wire_throughput_bps=wire_throughput,
+        goodput=goodput,
+        retransmitted_bytes=stats.retransmitted_bytes_wire,
+        retransmitted_kbytes=stats.retransmitted_bytes_wire / 1024.0,
+        segments_sent=stats.segments_sent,
+        retransmissions=stats.retransmissions,
+        timeouts=stats.timeouts,
+        fast_retransmits=stats.fast_retransmits,
+        bytes_sent_wire=sent_wire,
+        useful_wire_bytes=useful_wire,
+    )

@@ -1,0 +1,174 @@
+"""IP-layer services: routing, fragmentation, reassembly.
+
+Fragmentation is the crux of the paper's §4.1: wired packets larger
+than the wireless MTU are split at the base station, and losing *any*
+fragment loses the whole packet — the source retransmits everything.
+Reassembly here is therefore strictly all-or-nothing, with a timeout
+that garbage-collects partial datagrams (as RFC 791 reassembly does).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.engine import Simulator
+from repro.net.packet import Address, Datagram, Fragment
+
+
+class RoutingTable:
+    """Static next-hop routing: destination address → forwarding callable.
+
+    The paper's topology is a three-node chain, so routes are installed
+    by the topology builder once and never change (no handoffs in this
+    study).
+    """
+
+    def __init__(self, node_name: str) -> None:
+        self.node_name = node_name
+        self._routes: Dict[Address, Callable[[Datagram], None]] = {}
+        self._default: Optional[Callable[[Datagram], None]] = None
+
+    def add_route(self, dst: Address, forward: Callable[[Datagram], None]) -> None:
+        """Install the forwarding function for datagrams to ``dst``."""
+        self._routes[dst] = forward
+
+    def set_default(self, forward: Callable[[Datagram], None]) -> None:
+        """Install a default route for unknown destinations."""
+        self._default = forward
+
+    def lookup(self, dst: Address) -> Callable[[Datagram], None]:
+        """The forwarding function for ``dst``; raises KeyError if unroutable."""
+        forward = self._routes.get(dst, self._default)
+        if forward is None:
+            raise KeyError(f"node {self.node_name!r} has no route to {dst!r}")
+        return forward
+
+    def forward(self, datagram: Datagram) -> None:
+        """Route a datagram one hop toward its destination."""
+        self.lookup(datagram.dst)(datagram)
+
+
+class Fragmenter:
+    """Split datagrams to fit the wireless MTU.
+
+    A datagram of N bytes becomes ``ceil(N / mtu)`` fragments; all but
+    the last are exactly MTU-sized.  (Per-fragment radio framing is
+    accounted separately by the wireless link's overhead factor, which
+    the paper says covers framing, FEC, segmentation and sync.)
+    """
+
+    def __init__(self, mtu_bytes: int) -> None:
+        if mtu_bytes <= 0:
+            raise ValueError(f"MTU must be positive, got {mtu_bytes}")
+        self.mtu_bytes = mtu_bytes
+        self.datagrams_fragmented = 0
+        self.fragments_produced = 0
+
+    def fragment_count(self, size_bytes: int) -> int:
+        """Number of fragments a datagram of ``size_bytes`` produces."""
+        return -(-size_bytes // self.mtu_bytes)
+
+    def fragment(self, datagram: Datagram) -> List[Fragment]:
+        """Split ``datagram``; a datagram within the MTU yields one fragment."""
+        count = self.fragment_count(datagram.size_bytes)
+        fragments: List[Fragment] = []
+        remaining = datagram.size_bytes
+        for index in range(count):
+            size = min(self.mtu_bytes, remaining)
+            fragments.append(
+                Fragment(datagram=datagram, frag_index=index, frag_count=count, size_bytes=size)
+            )
+            remaining -= size
+        if count > 1:
+            self.datagrams_fragmented += 1
+        self.fragments_produced += count
+        return fragments
+
+
+@dataclass
+class _PartialDatagram:
+    """Reassembly buffer for one in-flight datagram."""
+
+    frag_count: int
+    received: Set[int] = field(default_factory=set)
+    first_seen: float = 0.0
+
+    @property
+    def complete(self) -> bool:
+        return len(self.received) == self.frag_count
+
+
+class Reassembler:
+    """All-or-nothing fragment reassembly with timeout.
+
+    ``add()`` returns the whole datagram when its last fragment
+    arrives, else ``None``.  Partial datagrams older than ``timeout``
+    are discarded by a periodic sweep, counting a reassembly failure —
+    this is the wired packet the TCP source will have to resend.
+    """
+
+    #: How many completed datagram uids to remember, so that a late
+    #: ARQ re-delivery of a fragment (its link ACK was lost) does not
+    #: resurrect a reassembly buffer for an already-delivered datagram.
+    COMPLETED_MEMORY = 512
+
+    def __init__(self, sim: Simulator, timeout: float = 30.0, name: str = "reasm") -> None:
+        if timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {timeout}")
+        self._sim = sim
+        self.timeout = timeout
+        self.name = name
+        self._partials: Dict[int, _PartialDatagram] = {}
+        self._completed_recent: "OrderedDict[int, None]" = OrderedDict()
+        self.completed = 0
+        self.failed = 0
+        self.duplicate_fragments = 0
+        self._sweep_scheduled = False
+
+    def add(self, fragment: Fragment) -> Optional[Datagram]:
+        """Account one arriving fragment; return the datagram if complete."""
+        uid = fragment.datagram.uid
+        if uid in self._completed_recent:
+            self.duplicate_fragments += 1
+            return None
+        partial = self._partials.get(uid)
+        if partial is None:
+            partial = _PartialDatagram(
+                frag_count=fragment.frag_count, first_seen=self._sim.now
+            )
+            self._partials[uid] = partial
+            self._ensure_sweep()
+        if fragment.frag_index in partial.received:
+            self.duplicate_fragments += 1
+            return None
+        partial.received.add(fragment.frag_index)
+        if partial.complete:
+            del self._partials[uid]
+            self.completed += 1
+            self._completed_recent[uid] = None
+            while len(self._completed_recent) > self.COMPLETED_MEMORY:
+                self._completed_recent.popitem(last=False)
+            return fragment.datagram
+        return None
+
+    @property
+    def pending(self) -> int:
+        """Number of datagrams currently awaiting fragments."""
+        return len(self._partials)
+
+    def _ensure_sweep(self) -> None:
+        if not self._sweep_scheduled:
+            self._sweep_scheduled = True
+            self._sim.schedule(self.timeout, self._sweep)
+
+    def _sweep(self) -> None:
+        self._sweep_scheduled = False
+        deadline = self._sim.now - self.timeout
+        expired = [uid for uid, p in self._partials.items() if p.first_seen <= deadline]
+        for uid in expired:
+            del self._partials[uid]
+            self.failed += 1
+        if self._partials:
+            self._ensure_sweep()

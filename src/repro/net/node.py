@@ -1,0 +1,79 @@
+"""Nodes and interfaces.
+
+A :class:`Node` is a named endpoint/router: datagrams addressed to it
+are handed to its attached agent (a TCP source, a TCP sink, ...);
+anything else is forwarded via its routing table.  An
+:class:`Interface` is the thin glue binding a node's routing entry to
+a link's ``send`` method while counting per-interface traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Protocol
+
+from repro.net.ip import RoutingTable
+from repro.net.packet import Address, Datagram
+
+
+class Agent(Protocol):
+    """Anything that can consume datagrams addressed to its node."""
+
+    def receive(self, datagram: Datagram) -> None:
+        """Handle a datagram whose ``dst`` is this node."""
+        ...  # pragma: no cover - protocol
+
+
+class Interface:
+    """A node's attachment point to one outgoing link."""
+
+    def __init__(self, name: str, send: Callable[[Datagram], None]) -> None:
+        self.name = name
+        self._send = send
+        self.datagrams_out = 0
+        self.bytes_out = 0
+
+    def __call__(self, datagram: Datagram) -> None:
+        self.datagrams_out += 1
+        self.bytes_out += datagram.size_bytes
+        self._send(datagram)
+
+
+class Node:
+    """A host or router in the simulated topology."""
+
+    def __init__(self, name: Address) -> None:
+        self.name = name
+        self.routing = RoutingTable(name)
+        self.agent: Optional[Agent] = None
+        self.datagrams_received = 0
+        self.datagrams_forwarded = 0
+
+    def attach_agent(self, agent: Agent) -> None:
+        """Install the transport-layer agent living on this node."""
+        self.agent = agent
+
+    def add_interface(
+        self, name: str, send: Callable[[Datagram], None], *destinations: Address
+    ) -> Interface:
+        """Create an interface and route the given destinations through it."""
+        interface = Interface(name, send)
+        for dst in destinations:
+            self.routing.add_route(dst, interface)
+        return interface
+
+    def receive(self, datagram: Datagram) -> None:
+        """Entry point for datagrams arriving from any link."""
+        if datagram.dst == self.name:
+            self.datagrams_received += 1
+            if self.agent is None:
+                raise RuntimeError(
+                    f"node {self.name!r} received a datagram but has no agent"
+                )
+            self.agent.receive(datagram)
+        else:
+            self.datagrams_forwarded += 1
+            self.routing.forward(datagram)
+
+    def send(self, datagram: Datagram) -> None:
+        """Originate a datagram from this node (route it one hop out)."""
+        self.routing.forward(datagram)

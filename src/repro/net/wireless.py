@@ -1,0 +1,152 @@
+"""The lossy wireless link.
+
+One direction of the wireless hop.  Each link frame is expanded by the
+physical-layer ``overhead_factor`` (framing, FEC, segmentation,
+synchronization — the paper's W → 1.5 W rule, which turns the 19.2 kbps
+raw CDPD channel into 12.8 kbps effective) and is then exposed to the
+burst-error channel for exactly its airtime, so a frame can straddle a
+good→bad transition.  Corrupted frames vanish (link-layer CRC drop);
+the receiver never sees them.
+
+Both directions of a hop share one :class:`~repro.channel.TwoStateChannel`
+instance: a deep fade affects data and acknowledgements alike, which is
+why TCP ACKs are lost in bad periods too (§4.2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.channel import TwoStateChannel
+from repro.engine import Simulator
+from repro.net.link import LinkStats
+from repro.net.packet import FrameKind, LinkFrame
+from repro.net.queues import DropTailQueue
+
+
+@dataclass
+class WirelessLinkConfig:
+    """Physical parameters of one wireless hop direction.
+
+    Defaults are the paper's wide-area (CDPD-like) values; the LAN
+    study uses 2 Mbps with no framing overhead.
+    """
+
+    raw_bandwidth_bps: float = 19_200.0
+    prop_delay: float = 0.002
+    overhead_factor: float = 1.5
+    mtu_bytes: int = 128
+
+    def __post_init__(self) -> None:
+        if self.raw_bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.prop_delay < 0:
+            raise ValueError("propagation delay must be >= 0")
+        if self.overhead_factor < 1.0:
+            raise ValueError("overhead factor must be >= 1")
+        if self.mtu_bytes <= 0:
+            raise ValueError("MTU must be positive")
+
+    @property
+    def effective_bandwidth_bps(self) -> float:
+        """Goodput ceiling after overhead (the paper's tput_max)."""
+        return self.raw_bandwidth_bps / self.overhead_factor
+
+
+class WirelessLink:
+    """One direction of the wireless hop.
+
+    ``send(frame, on_tx_complete=...)`` queues a frame; the optional
+    callback fires when the frame finishes leaving the transmitter
+    (whether or not the channel corrupted it) — the link-layer ARQ uses
+    it to start its acknowledgement timer.  The sender is *not* told
+    the corruption outcome: only the absence of a link ACK reveals it,
+    as on real hardware.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: WirelessLinkConfig,
+        channel: TwoStateChannel,
+        name: str = "wireless",
+    ) -> None:
+        self._sim = sim
+        self.config = config
+        self.channel = channel
+        self.name = name
+        self.queue: DropTailQueue = DropTailQueue(name=f"{name}.q")
+        #: Link-layer ACK frames are transmitted ahead of queued data,
+        #: as a real MAC acknowledges in-band with priority — otherwise
+        #: an ACK stuck behind a window of data frames looks like a
+        #: loss to the other side's ARQ.
+        self.ack_queue: DropTailQueue = DropTailQueue(name=f"{name}.ackq")
+        self.stats = LinkStats()
+        self._receiver: Optional[Callable[[LinkFrame], None]] = None
+        self._busy = False
+
+    def connect(self, receiver: Callable[[LinkFrame], None]) -> None:
+        """Set the far-end delivery callback."""
+        self._receiver = receiver
+
+    @property
+    def busy(self) -> bool:
+        return self._busy
+
+    def air_bytes(self, size_bytes: int) -> int:
+        """On-air size of a frame after physical-layer expansion."""
+        return int(round(size_bytes * self.config.overhead_factor))
+
+    def tx_time(self, size_bytes: int) -> float:
+        """Airtime of a frame of ``size_bytes`` (pre-expansion)."""
+        return self.air_bytes(size_bytes) * 8 / self.config.raw_bandwidth_bps
+
+    def send(
+        self,
+        frame: LinkFrame,
+        on_tx_complete: Optional[Callable[[LinkFrame], None]] = None,
+    ) -> None:
+        """Queue a frame for transmission."""
+        if self._receiver is None:
+            raise RuntimeError(f"link {self.name!r} has no receiver connected")
+        self.stats.offered += 1
+        target = self.ack_queue if frame.kind is FrameKind.LINK_ACK else self.queue
+        target.offer((frame, on_tx_complete), frame.size_bytes)
+        if not self._busy:
+            self._start_next()
+
+    def _start_next(self) -> None:
+        entry = self.ack_queue.poll()
+        if entry is None:
+            entry = self.queue.poll()
+        if entry is None:
+            self._busy = False
+            return
+        frame, on_tx_complete = entry
+        self._busy = True
+        duration = self.tx_time(frame.size_bytes)
+        start = self._sim.now
+        self._sim.schedule(duration, self._tx_done, frame, on_tx_complete, start, duration)
+
+    def _tx_done(
+        self,
+        frame: LinkFrame,
+        on_tx_complete: Optional[Callable[[LinkFrame], None]],
+        start: float,
+        duration: float,
+    ) -> None:
+        self.stats.transmitted += 1
+        self.stats.bytes_transmitted += frame.size_bytes
+        self.stats.busy_time += duration
+        nbits = self.air_bytes(frame.size_bytes) * 8
+        corrupted = self.channel.corrupts(start, duration, nbits)
+        if corrupted:
+            self.stats.corrupted += 1
+        else:
+            self.stats.delivered += 1
+            assert self._receiver is not None
+            self._sim.schedule(self.config.prop_delay, self._receiver, frame)
+        if on_tx_complete is not None:
+            on_tx_complete(frame)
+        self._start_next()

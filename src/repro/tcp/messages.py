@@ -1,0 +1,63 @@
+"""Message-oriented sender for interactive traffic.
+
+The paper motivates its study with interactive applications — "users
+of portable computers would like to execute popular applications like
+ftp, telnet, www-access" — but evaluates bulk transfer only.  To
+measure what its schemes do for *latency*, this sender transmits one
+segment per application message (a keystroke, an echo, a small web
+object), like a telnet connection with Nagle disabled: messages are
+queued by the application at arbitrary times and sequenced through the
+normal Tahoe machinery.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.tcp.tahoe import TahoeSender
+
+
+class MessageSender(TahoeSender):
+    """Tahoe sender where each application message is one segment.
+
+    ``send_message(nbytes)`` queues a message (at most one segment
+    payload); ``close()`` marks the end of the conversation.  The
+    congestion/loss machinery is untouched — under fades, queued
+    keystrokes experience exactly the stalls the bulk study measures.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.transfer_bytes = 0
+        self.total_segments = 0
+        self.closed = False
+        self._message_sizes: List[int] = []
+
+    def send_message(self, nbytes: int) -> int:
+        """Queue one message; returns its segment number."""
+        if self.closed:
+            raise RuntimeError("cannot send into a closed conversation")
+        if not 0 < nbytes <= self.config.segment_payload:
+            raise ValueError(
+                f"message must be 1..{self.config.segment_payload} bytes, "
+                f"got {nbytes}"
+            )
+        seq = self.total_segments
+        self._message_sizes.append(nbytes)
+        self.total_segments += 1
+        self.transfer_bytes += nbytes
+        if self.stats.started_at is not None:
+            self._send_pending()
+        return seq
+
+    def close(self) -> None:
+        """No more messages will be sent."""
+        self.closed = True
+        if self.stats.started_at is not None and self._transfer_finished():
+            self._complete()
+
+    def _transfer_finished(self) -> bool:
+        return self.closed and self.snd_una >= self.total_segments
+
+    def _segment_payload_bytes(self, seq: int) -> int:
+        return self._message_sizes[seq]

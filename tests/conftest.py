@@ -1,0 +1,27 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.engine import RandomStreams, Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    """A fresh simulator."""
+    return Simulator()
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic RNG for components under test."""
+    return random.Random(12345)
+
+
+@pytest.fixture
+def streams() -> RandomStreams:
+    """A deterministic stream factory."""
+    return RandomStreams(seed=42)

@@ -1,0 +1,62 @@
+"""Tests for the scripted channel test double."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.channel import ScriptedChannel
+from repro.net.packet import Datagram, Fragment, TcpSegment, data_frame
+from repro.net.wireless import WirelessLink, WirelessLinkConfig
+
+
+class TestRules:
+    def test_lose_specific_frames(self):
+        channel = ScriptedChannel(lose_frames=[2, 3])
+        results = [channel.corrupts(0, 0.1, 100) for _ in range(4)]
+        assert results == [False, True, True, False]
+
+    def test_bad_window_overlap(self):
+        channel = ScriptedChannel(bad_windows=[(1.0, 2.0)])
+        assert not channel.corrupts(0.0, 0.5, 100)   # entirely before
+        assert channel.corrupts(0.8, 0.5, 100)       # straddles the start
+        assert channel.corrupts(1.2, 0.1, 100)       # inside
+        assert not channel.corrupts(2.5, 0.5, 100)   # after
+
+    def test_custom_decider(self):
+        channel = ScriptedChannel(decide=lambda i, s, d, n: n > 1000)
+        assert not channel.corrupts(0, 0.1, 999)
+        assert channel.corrupts(0, 0.1, 1001)
+
+    def test_rules_combine(self):
+        channel = ScriptedChannel(
+            lose_frames=[1], bad_windows=[(5.0, 6.0)]
+        )
+        assert channel.corrupts(0.0, 0.1, 10)   # frame rule
+        assert channel.corrupts(5.5, 0.1, 10)   # window rule
+        assert not channel.corrupts(10.0, 0.1, 10)
+
+    def test_decision_log(self):
+        channel = ScriptedChannel(lose_frames=[1])
+        channel.corrupts(3.0, 0.2, 64)
+        assert channel.decisions == [(1, 3.0, 0.2, True)]
+
+    def test_inverted_window_rejected(self):
+        with pytest.raises(ValueError):
+            ScriptedChannel(bad_windows=[(2.0, 1.0)])
+
+
+class TestWithWirelessLink:
+    def test_drives_link_losses_precisely(self, sim):
+        channel = ScriptedChannel(lose_frames=[2])
+        link = WirelessLink(sim, WirelessLinkConfig(), channel)
+        got = []
+        link.connect(lambda f: got.append(f.uid))
+        frames = []
+        for i in range(3):
+            dg = Datagram("FH", "MH", TcpSegment(i, 88, 0.0), 128)
+            frame = data_frame(Fragment(dg, 0, 1, 128))
+            frames.append(frame)
+            link.send(frame)
+        sim.run()
+        assert got == [frames[0].uid, frames[2].uid]
+        assert link.stats.corrupted == 1

@@ -1,0 +1,50 @@
+"""Tests for the claim-validation harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.claims import CLAIMS, ClaimResult, validate_all
+
+
+class TestClaimRegistry:
+    def test_ids_unique(self):
+        ids = [c.id for c in CLAIMS]
+        assert len(ids) == len(set(ids))
+
+    def test_every_claim_has_source_and_statement(self):
+        for claim in CLAIMS:
+            assert claim.source
+            assert len(claim.statement) > 10
+
+    def test_core_figures_covered(self):
+        sources = {c.source for c in CLAIMS}
+        for figure in ("Fig 3", "Fig 5", "Fig 7", "Fig 8", "Fig 9", "Fig 10", "Fig 11"):
+            assert figure in sources
+
+
+class TestValidation:
+    def test_all_claims_pass_at_reduced_scale(self):
+        """The whole claim suite must hold even at 0.3x scale."""
+        results = validate_all(scale=0.3, seeds=3)
+        failures = [
+            f"{c.id}: {r.detail}" for c, r in results if not r.passed
+        ]
+        assert not failures, failures
+
+    def test_results_are_claim_result_objects(self):
+        claim = CLAIMS[0]
+        result = claim.evaluate(scale=0.2, seeds=1)
+        assert isinstance(result, ClaimResult)
+        assert result.detail
+
+
+class TestCliValidate:
+    def test_cli_reports(self, capsys):
+        from repro.cli import main
+
+        code = main(["validate", "--scale", "0.2", "--seeds", "2"])
+        out = capsys.readouterr().out
+        assert "claims validated" in out
+        # The quick scale may miss a marginal claim; exit code reflects it.
+        assert code in (0, 1)

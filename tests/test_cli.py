@@ -1,0 +1,119 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--scheme", "magic"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.scheme == "ebsn"
+        assert args.packet_size == 576
+        assert not args.lan
+
+
+class TestRun:
+    def test_run_prints_metrics(self, capsys):
+        code = main(["run", "--scheme", "basic", "--transfer-kb", "10", "--seed", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "throughput" in out
+        assert "goodput" in out
+
+    def test_run_lan(self, capsys):
+        code = main(
+            ["run", "--lan", "--scheme", "ebsn", "--transfer-kb", "256",
+             "--bad-period", "0.8"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Mbps" in out
+
+
+class TestTrace:
+    def test_trace_renders(self, capsys):
+        code = main(["trace", "--scheme", "basic", "--width", "60"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "timeouts" in out
+        assert "|" in out  # the plot body
+
+
+class TestSweep:
+    def test_wan_sweep(self, capsys):
+        code = main(
+            ["sweep", "--scheme", "basic", "--transfer-kb", "10",
+             "--replications", "1"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "size(B)" in out
+        assert "1536" in out
+
+
+class TestFigure:
+    def test_trace_figure(self, capsys):
+        code = main(["figure", "4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Figure 4" in out
+
+    def test_unknown_figure(self, capsys):
+        code = main(["figure", "99"])
+        assert code == 2
+
+
+class TestCsdp:
+    def test_csdp_table(self, capsys):
+        code = main(["csdp", "--connections", "2", "--transfer-kb", "10"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fifo" in out and "csdp" in out
+
+
+class TestHandoffCommand:
+    def test_handoff_table(self, capsys):
+        code = main(["handoff", "--transfer-kb", "20", "--seeds", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fast_rtx" in out
+
+
+class TestCongestionCommand:
+    def test_congestion_table(self, capsys):
+        code = main(["congestion", "--seeds", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ECN" in out and "ebsn" in out
+
+
+class TestReportCommand:
+    def test_report_assembles_sections(self, capsys, tmp_path):
+        out_dir = tmp_path / "out"
+        out_dir.mkdir()
+        (out_dir / "fig7_wan_basic.txt").write_text("fig7 data\n")
+        (out_dir / "zz_custom.txt").write_text("extra\n")
+        target = tmp_path / "REPORT.md"
+        code = main(
+            ["report", "--out-dir", str(out_dir), "--output", str(target)]
+        )
+        assert code == 0
+        text = target.read_text()
+        assert "## fig7_wan_basic" in text
+        assert "## zz_custom" in text
+        assert text.index("fig7_wan_basic") < text.index("zz_custom")
+
+    def test_report_missing_dir(self, tmp_path):
+        code = main(["report", "--out-dir", str(tmp_path / "nope")])
+        assert code == 2

@@ -1,0 +1,100 @@
+"""Unit tests for the Timer primitive (EBSN's re-arm mechanism)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import Simulator, Timer
+
+
+class TestTimerBasics:
+    def test_fires_after_delay(self, sim):
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(2.5)
+        sim.run()
+        assert fired == [2.5]
+
+    def test_not_pending_initially(self, sim):
+        timer = Timer(sim, lambda: None)
+        assert not timer.pending
+        assert timer.expiry_time is None
+
+    def test_pending_while_armed(self, sim):
+        timer = Timer(sim, lambda: None)
+        timer.start(1.0)
+        assert timer.pending
+        assert timer.expiry_time == 1.0
+
+    def test_not_pending_after_fire(self, sim):
+        timer = Timer(sim, lambda: None)
+        timer.start(1.0)
+        sim.run()
+        assert not timer.pending
+
+    def test_double_start_rejected(self, sim):
+        timer = Timer(sim, lambda: None)
+        timer.start(1.0)
+        with pytest.raises(RuntimeError):
+            timer.start(2.0)
+
+    def test_expiry_count(self, sim):
+        timer = Timer(sim, lambda: None)
+        timer.start(1.0)
+        sim.run()
+        timer.start(1.0)
+        sim.run()
+        assert timer.expiry_count == 2
+
+
+class TestCancelAndRestart:
+    def test_cancel_prevents_firing(self, sim):
+        fired = []
+        timer = Timer(sim, lambda: fired.append(1))
+        timer.start(1.0)
+        timer.cancel()
+        sim.run()
+        assert fired == []
+        assert not timer.pending
+
+    def test_cancel_idle_timer_is_noop(self, sim):
+        Timer(sim, lambda: None).cancel()
+
+    def test_restart_supersedes_previous_deadline(self, sim):
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(1.0)
+        timer.restart(5.0)
+        sim.run()
+        assert fired == [5.0]
+
+    def test_restart_idle_timer_arms_it(self, sim):
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.restart(2.0)
+        sim.run()
+        assert fired == [2.0]
+
+    def test_repeated_restart_keeps_pushing_deadline(self, sim):
+        """The EBSN pattern: each notification pushes the timeout out."""
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(1.0)
+        # Re-arm at t=0.5, 1.0, 1.5 — each time for 1 more second.
+        for at in (0.5, 1.0, 1.5):
+            sim.schedule_at(at, timer.restart, 1.0)
+        sim.run()
+        assert fired == [2.5]
+
+    def test_restart_from_callback(self, sim):
+        fired = []
+
+        def on_fire():
+            fired.append(sim.now)
+            if len(fired) < 3:
+                timer.restart(1.0)
+
+        timer = Timer(sim, on_fire)
+        timer.start(1.0)
+        sim.run()
+        assert fired == [1.0, 2.0, 3.0]

@@ -1,0 +1,69 @@
+"""Tests for CSV export and the advisor's sweep-driven population."""
+
+from __future__ import annotations
+
+import csv
+
+import pytest
+
+from repro.core.packet_size import ErrorCondition, PacketSizeAdvisor
+from repro.experiments.config import wan_scenario
+from repro.experiments.export import series_to_csv, sweep_to_csv
+from repro.experiments.runner import sweep
+
+
+TINY = 5 * 1024
+
+
+@pytest.fixture(scope="module")
+def points():
+    return sweep(
+        [256, 576],
+        lambda size: wan_scenario(packet_size=size, transfer_bytes=TINY),
+        replications=2,
+    )
+
+
+class TestSweepCsv:
+    def test_writes_header_and_rows(self, points, tmp_path):
+        path = sweep_to_csv(points, tmp_path / "sweep.csv", x_name="packet_size")
+        with path.open() as fp:
+            rows = list(csv.reader(fp))
+        assert rows[0][0] == "packet_size"
+        assert len(rows) == 3
+        assert [r[0] for r in rows[1:]] == ["256", "576"]
+
+    def test_values_parse_back(self, points, tmp_path):
+        path = sweep_to_csv(points, tmp_path / "sweep.csv")
+        with path.open() as fp:
+            reader = csv.DictReader(fp)
+            for row in reader:
+                assert float(row["throughput_bps_mean"]) > 0
+                assert 0 < float(row["goodput_mean"]) <= 1
+                assert int(row["replications"]) == 2
+
+    def test_rows_sorted_by_x(self, points, tmp_path):
+        path = sweep_to_csv(points, tmp_path / "s.csv")
+        with path.open() as fp:
+            xs = [row["x"] for row in csv.DictReader(fp)]
+        assert xs == sorted(xs, key=float)
+
+
+class TestSeriesCsv:
+    def test_long_format(self, points, tmp_path):
+        path = series_to_csv({"basic": points, "again": points}, tmp_path / "l.csv")
+        with path.open() as fp:
+            rows = list(csv.DictReader(fp))
+        assert len(rows) == 4
+        assert {r["series"] for r in rows} == {"basic", "again"}
+
+
+class TestAdvisorPopulation:
+    def test_populate_from_sweeps_fills_table(self):
+        advisor = PacketSizeAdvisor(candidate_sizes=[256, 576, 1536])
+        condition = ErrorCondition(good_period_mean=10.0, bad_period_mean=2.0)
+        advisor.populate_from_sweeps(
+            [condition], replications=2, transfer_bytes=TINY
+        )
+        assert condition in advisor.table
+        assert advisor.recommend(condition) in (256, 576, 1536)

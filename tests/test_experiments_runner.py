@@ -1,0 +1,117 @@
+"""Tests for the replication runner and sweep helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import wan_scenario
+from repro.experiments.runner import run_replicated, sweep
+from repro.experiments.topology import Scheme
+
+
+TINY = 5 * 1024
+
+
+class TestRunReplicated:
+    def test_aggregates_over_seeds(self):
+        result = run_replicated(
+            wan_scenario(transfer_bytes=TINY), replications=3, base_seed=10
+        )
+        assert result.replications == 3
+        assert len(result.results) == 3
+        assert result.throughput_bps_mean > 0
+        seeds = {r.config.seed for r in result.results}
+        assert seeds == {10, 11, 12}
+
+    def test_single_replication_has_zero_std(self):
+        result = run_replicated(wan_scenario(transfer_bytes=TINY), replications=1)
+        assert result.throughput_bps_std == 0.0
+        assert result.throughput_rel_std == 0.0
+
+    def test_rejects_zero_replications(self):
+        with pytest.raises(ValueError):
+            run_replicated(wan_scenario(transfer_bytes=TINY), replications=0)
+
+    def test_traces_disabled_in_replicated_runs(self):
+        result = run_replicated(wan_scenario(transfer_bytes=TINY), replications=2)
+        assert all(r.trace is None for r in result.results)
+
+    def test_unit_conversions(self):
+        result = run_replicated(wan_scenario(transfer_bytes=TINY), replications=1)
+        assert result.throughput_kbps == pytest.approx(
+            result.throughput_bps_mean / 1000
+        )
+        assert result.throughput_mbps == pytest.approx(
+            result.throughput_bps_mean / 1e6
+        )
+
+    def test_incomplete_run_raises(self):
+        config = wan_scenario(transfer_bytes=TINY)
+        from dataclasses import replace
+
+        config = replace(config, max_sim_time=0.01)  # cannot finish
+        with pytest.raises(RuntimeError):
+            run_replicated(config, replications=1)
+
+
+class TestSweep:
+    def test_one_point_per_value(self):
+        points = sweep(
+            [256, 576],
+            lambda size: wan_scenario(packet_size=size, transfer_bytes=TINY),
+            replications=1,
+        )
+        assert set(points) == {256, 576}
+        assert all(p.replications == 1 for p in points.values())
+
+    def test_paired_seeds_share_fade_timeline(self):
+        """Same seed => same channel sojourns regardless of packet
+        size (the variance-reduction design)."""
+        from repro.experiments.topology import Scenario
+
+        def sojourns(size):
+            scenario = Scenario(
+                wan_scenario(packet_size=size, transfer_bytes=TINY, seed=5)
+            )
+            channel = scenario.channel
+            return [
+                (round(a, 9), s.value) for a, _, s in channel.intervals(0, 50)
+            ]
+
+        assert sojourns(128) == sojourns(1536)
+
+
+class TestConfidenceIntervals:
+    def test_t_table(self):
+        from repro.experiments.runner import t95
+
+        assert t95(1) == pytest.approx(12.706)
+        assert t95(9) == pytest.approx(2.262)
+        assert t95(1000) == pytest.approx(1.96)
+        with pytest.raises(ValueError):
+            t95(0)
+
+    def test_ci_zero_for_single_run(self):
+        result = run_replicated(wan_scenario(transfer_bytes=TINY), replications=1)
+        assert result.throughput_ci95_bps == 0.0
+
+    def test_ci_positive_for_multiple_runs(self):
+        result = run_replicated(wan_scenario(transfer_bytes=TINY), replications=3)
+        assert result.throughput_ci95_bps > 0.0
+
+    def test_significance_check(self):
+        basic = run_replicated(
+            wan_scenario(Scheme.BASIC, transfer_bytes=60 * 1024, bad_period_mean=4.0,
+                         packet_size=1536),
+            replications=12,
+        )
+        ebsn = run_replicated(
+            wan_scenario(Scheme.EBSN, transfer_bytes=60 * 1024, bad_period_mean=4.0,
+                         packet_size=1536),
+            replications=12,
+        )
+        # The headline ~2x EBSN-vs-basic gap is statistically clean.
+        assert ebsn.throughput_differs_from(basic)
+        assert basic.throughput_differs_from(ebsn)
+        # A distribution does not differ from itself.
+        assert not basic.throughput_differs_from(basic)

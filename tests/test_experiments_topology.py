@@ -1,0 +1,161 @@
+"""Unit tests for the scenario builder's wiring and config plumbing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import lan_scenario, wan_scenario
+from repro.experiments.topology import (
+    ChannelConfig,
+    Scenario,
+    ScenarioConfig,
+    Scheme,
+    with_scheme,
+)
+from repro.linklayer import ArqConfig, LinkLayerMode
+
+
+class TestDerivedArq:
+    def test_wan_defaults(self):
+        config = wan_scenario()
+        arq = config.derived_arq()
+        assert arq.rtmax == 13
+        # Frame time for a 128 B fragment is 80 ms; backoff spans
+        # [2.5, 7.5] frame times.
+        assert arq.backoff_min == pytest.approx(0.2)
+        assert arq.backoff_max == pytest.approx(0.6)
+        # ack timeout covers round trip + ACK airtime + reverse MTU.
+        assert arq.ack_timeout > 0.09
+
+    def test_explicit_arq_passes_through(self):
+        custom = ArqConfig(ack_timeout=0.5, rtmax=3)
+        config = wan_scenario(arq=custom)
+        assert config.derived_arq() is custom
+
+    def test_lan_uses_its_own_arq(self):
+        config = lan_scenario()
+        assert config.arq is not None
+        assert config.derived_arq().rtmax == 150
+
+
+class TestSchemeWiring:
+    def build(self, scheme):
+        return Scenario(wan_scenario(scheme=scheme, transfer_bytes=5 * 1024))
+
+    def test_basic_is_plain_no_feedback(self):
+        s = self.build(Scheme.BASIC)
+        assert s.bs_port.mode is LinkLayerMode.PLAIN
+        assert s.ebsn_generator is None
+        assert s.sender.icmp_handler is None
+
+    def test_local_recovery_is_arq(self):
+        s = self.build(Scheme.LOCAL_RECOVERY)
+        assert s.bs_port.mode is LinkLayerMode.ARQ
+        assert s.mh_port.mode is LinkLayerMode.ARQ
+        assert s.ebsn_generator is None
+
+    def test_ebsn_wiring(self):
+        s = self.build(Scheme.EBSN)
+        assert s.bs_port.mode is LinkLayerMode.ARQ
+        assert s.bs_port.feedback is s.ebsn_generator
+        assert s.sender.icmp_handler is not None
+
+    def test_quench_wiring(self):
+        s = self.build(Scheme.QUENCH)
+        assert s.quench_generator is not None
+        assert s.bs_port.feedback is s.quench_generator
+
+    def test_snoop_wiring(self):
+        s = self.build(Scheme.SNOOP)
+        assert s.snoop_agent is not None
+        assert s.bs_port.mode is LinkLayerMode.PLAIN
+
+    def test_split_wiring(self):
+        s = self.build(Scheme.SPLIT)
+        assert s.split_relay is not None
+        assert s.bs.agent is s.split_relay
+        assert s.sink.src == "BS"
+
+    def test_links_share_one_channel(self):
+        s = self.build(Scheme.BASIC)
+        assert s.downlink.channel is s.uplink.channel
+
+    def test_with_scheme_copies(self):
+        config = wan_scenario(Scheme.BASIC)
+        other = with_scheme(config, Scheme.EBSN)
+        assert other.scheme is Scheme.EBSN
+        assert config.scheme is Scheme.BASIC
+        assert other.tcp == config.tcp
+
+
+class TestChannelConfig:
+    def test_deterministic_build(self, streams):
+        channel = ChannelConfig(deterministic=True, good_period_mean=2.0,
+                                bad_period_mean=1.0).build(streams)
+        assert channel.deterministic_errors
+        assert channel.good_fraction() == pytest.approx(2 / 3)
+
+    def test_stochastic_build(self, streams):
+        channel = ChannelConfig(good_period_mean=2.0, bad_period_mean=1.0).build(
+            streams
+        )
+        assert not channel.deterministic_errors
+
+    def test_unknown_variant_rejected(self):
+        config = wan_scenario(transfer_bytes=1024)
+        from dataclasses import replace
+
+        with pytest.raises(KeyError):
+            Scenario(replace(config, tcp_variant="vegas"))
+
+
+class TestResultSurface:
+    def test_result_exposes_components(self):
+        from repro.experiments.topology import run_scenario
+
+        result = run_scenario(wan_scenario(transfer_bytes=5 * 1024))
+        assert result.tput_th_bps == pytest.approx(11_636, abs=1)
+        assert result.downlink.stats.transmitted > 0
+        assert result.config.scheme is Scheme.BASIC
+        assert result.trace is not None
+
+
+class TestAsymmetricWireless:
+    def test_uplink_uses_its_own_config(self):
+        from dataclasses import replace
+
+        from repro.net.wireless import WirelessLinkConfig
+
+        config = replace(
+            wan_scenario(transfer_bytes=5 * 1024),
+            wireless_up=WirelessLinkConfig(
+                raw_bandwidth_bps=9600.0, prop_delay=0.002,
+                overhead_factor=1.5, mtu_bytes=128,
+            ),
+        )
+        s = Scenario(config)
+        assert s.uplink.config.raw_bandwidth_bps == 9600.0
+        assert s.downlink.config.raw_bandwidth_bps == 19200.0
+        # Both directions still share the fading process.
+        assert s.uplink.channel is s.downlink.channel
+
+    def test_asymmetric_run_completes(self):
+        from dataclasses import replace
+
+        from repro.experiments.topology import run_scenario
+        from repro.net.wireless import WirelessLinkConfig
+
+        config = replace(
+            wan_scenario(transfer_bytes=10 * 1024, bad_period_mean=2.0),
+            wireless_up=WirelessLinkConfig(
+                raw_bandwidth_bps=9600.0, prop_delay=0.002,
+                overhead_factor=1.5, mtu_bytes=128,
+            ),
+        )
+        result = run_scenario(config)
+        assert result.completed
+        # The slow return channel lengthens the transfer relative to
+        # the symmetric case (ACK serialization adds to the RTT).
+        symmetric = run_scenario(wan_scenario(transfer_bytes=10 * 1024,
+                                              bad_period_mean=2.0))
+        assert result.metrics.duration > symmetric.metrics.duration * 0.9

@@ -1,0 +1,34 @@
+"""Golden-file regression tests for the deterministic trace figures.
+
+The frozen-channel example (Figs 3-5) is fully deterministic, so its
+rendered traces are stable artifacts: any behavioral drift in the
+engine, TCP, fragmentation, channel, or ARQ shows up as a diff here.
+Regenerate the goldens deliberately (see the module body) when a
+behavior change is intended, and record why in the commit.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.experiments.figures import trace_figure
+
+DATA = Path(__file__).parent / "data"
+
+
+def rendered(figure_number: int) -> str:
+    return trace_figure(figure_number).trace.render(width=80, t_max=60.0)
+
+
+class TestGoldenTraces:
+    def test_fig3_trace_unchanged(self):
+        assert rendered(3) == (DATA / "golden_fig3_trace.txt").read_text()
+
+    def test_fig5_trace_unchanged(self):
+        assert rendered(5) == (DATA / "golden_fig5_trace.txt").read_text()
+
+    def test_goldens_differ_from_each_other(self):
+        """Sanity: the two schemes really do produce different traces."""
+        assert (DATA / "golden_fig3_trace.txt").read_text() != (
+            DATA / "golden_fig5_trace.txt"
+        ).read_text()

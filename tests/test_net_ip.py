@@ -1,0 +1,165 @@
+"""Unit tests for routing, fragmentation, reassembly."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.engine import Simulator
+from repro.net.ip import Fragmenter, Reassembler, RoutingTable
+from repro.net.packet import Datagram, TcpSegment
+
+
+def make_datagram(size=576):
+    seg = TcpSegment(seq=0, payload_bytes=size - 40, sent_at=0.0)
+    return Datagram("FH", "MH", seg, size)
+
+
+class TestRoutingTable:
+    def test_route_lookup(self):
+        table = RoutingTable("BS")
+        sent = []
+        table.add_route("MH", sent.append)
+        table.forward(make_datagram())
+        assert len(sent) == 1
+
+    def test_unroutable_raises(self):
+        with pytest.raises(KeyError):
+            RoutingTable("BS").lookup("nowhere")
+
+    def test_default_route(self):
+        table = RoutingTable("FH")
+        sent = []
+        table.set_default(sent.append)
+        table.forward(make_datagram())
+        assert len(sent) == 1
+
+    def test_specific_route_beats_default(self):
+        table = RoutingTable("FH")
+        specific, default = [], []
+        table.add_route("MH", specific.append)
+        table.set_default(default.append)
+        table.forward(make_datagram())
+        assert len(specific) == 1 and not default
+
+
+class TestFragmenter:
+    def test_fragment_count(self):
+        f = Fragmenter(128)
+        assert f.fragment_count(576) == 5
+        assert f.fragment_count(128) == 1
+        assert f.fragment_count(129) == 2
+
+    def test_fragment_sizes(self):
+        f = Fragmenter(128)
+        frags = f.fragment(make_datagram(576))
+        assert [x.size_bytes for x in frags] == [128, 128, 128, 128, 64]
+        assert sum(x.size_bytes for x in frags) == 576
+
+    def test_small_datagram_single_fragment(self):
+        f = Fragmenter(128)
+        frags = f.fragment(make_datagram(100))
+        assert len(frags) == 1
+        assert frags[0].is_last
+
+    def test_indices_and_counts(self):
+        f = Fragmenter(128)
+        frags = f.fragment(make_datagram(300))
+        assert [x.frag_index for x in frags] == [0, 1, 2]
+        assert all(x.frag_count == 3 for x in frags)
+
+    def test_stats(self):
+        f = Fragmenter(128)
+        f.fragment(make_datagram(576))
+        f.fragment(make_datagram(100))
+        assert f.datagrams_fragmented == 1
+        assert f.fragments_produced == 6
+
+    def test_invalid_mtu(self):
+        with pytest.raises(ValueError):
+            Fragmenter(0)
+
+    @given(size=st.integers(min_value=41, max_value=4096), mtu=st.integers(min_value=1, max_value=512))
+    def test_fragments_always_reassemble_to_size(self, size, mtu):
+        f = Fragmenter(mtu)
+        frags = f.fragment(make_datagram(size))
+        assert sum(x.size_bytes for x in frags) == size
+        assert all(x.size_bytes <= mtu for x in frags)
+        assert len(frags) == f.fragment_count(size)
+
+
+class TestReassembler:
+    def test_complete_in_order(self, sim):
+        r = Reassembler(sim)
+        dg = make_datagram(300)
+        frags = Fragmenter(128).fragment(dg)
+        assert r.add(frags[0]) is None
+        assert r.add(frags[1]) is None
+        assert r.add(frags[2]) is dg
+        assert r.completed == 1
+
+    def test_complete_out_of_order(self, sim):
+        r = Reassembler(sim)
+        dg = make_datagram(300)
+        frags = Fragmenter(128).fragment(dg)
+        assert r.add(frags[2]) is None
+        assert r.add(frags[0]) is None
+        assert r.add(frags[1]) is dg
+
+    def test_single_fragment_completes_immediately(self, sim):
+        r = Reassembler(sim)
+        dg = make_datagram(100)
+        (frag,) = Fragmenter(128).fragment(dg)
+        assert r.add(frag) is dg
+
+    def test_duplicate_fragment_ignored(self, sim):
+        r = Reassembler(sim)
+        frags = Fragmenter(128).fragment(make_datagram(300))
+        r.add(frags[0])
+        assert r.add(frags[0]) is None
+        assert r.duplicate_fragments == 1
+
+    def test_fragment_of_completed_datagram_ignored(self, sim):
+        """Late ARQ re-delivery must not resurrect a reassembly buffer."""
+        r = Reassembler(sim)
+        dg = make_datagram(300)
+        frags = Fragmenter(128).fragment(dg)
+        for frag in frags:
+            r.add(frag)
+        assert r.add(frags[1]) is None
+        assert r.pending == 0
+        assert r.duplicate_fragments == 1
+
+    def test_interleaved_datagrams(self, sim):
+        r = Reassembler(sim)
+        dg_a, dg_b = make_datagram(300), make_datagram(300)
+        frags_a = Fragmenter(128).fragment(dg_a)
+        frags_b = Fragmenter(128).fragment(dg_b)
+        r.add(frags_a[0])
+        r.add(frags_b[0])
+        r.add(frags_a[1])
+        r.add(frags_b[1])
+        r.add(frags_b[2])
+        assert r.completed == 1
+        assert r.add(frags_a[2]) is dg_a
+
+    def test_timeout_discards_partial(self, sim):
+        r = Reassembler(sim, timeout=5.0)
+        frags = Fragmenter(128).fragment(make_datagram(300))
+        r.add(frags[0])
+        sim.run(until=11.0)
+        assert r.pending == 0
+        assert r.failed == 1
+
+    def test_fresh_partial_survives_sweep(self, sim):
+        r = Reassembler(sim, timeout=5.0)
+        frags_old = Fragmenter(128).fragment(make_datagram(300))
+        frags_new = Fragmenter(128).fragment(make_datagram(300))
+        r.add(frags_old[0])
+        sim.schedule(4.9, r.add, frags_new[0])
+        sim.run(until=6.0)
+        assert r.pending >= 1  # the new one must still be waiting
+
+    def test_invalid_timeout(self, sim):
+        with pytest.raises(ValueError):
+            Reassembler(sim, timeout=0)

@@ -1,0 +1,178 @@
+"""Unit tests for wired and wireless links."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.channel import deterministic_channel
+from repro.engine import Simulator
+from repro.net.link import WiredLink
+from repro.net.packet import (
+    Datagram,
+    Fragment,
+    FrameKind,
+    TcpSegment,
+    data_frame,
+    link_ack_frame,
+)
+from repro.net.wireless import WirelessLink, WirelessLinkConfig
+
+
+def make_datagram(size=576):
+    seg = TcpSegment(seq=0, payload_bytes=size - 40, sent_at=0.0)
+    return Datagram("FH", "MH", seg, size)
+
+
+def make_frame(size=128):
+    dg = make_datagram(576)
+    frag = Fragment(dg, 0, 1, size)
+    return data_frame(frag)
+
+
+class TestWiredLink:
+    def test_delivery_time(self, sim):
+        got = []
+        link = WiredLink(sim, bandwidth_bps=56_000, prop_delay=0.01)
+        link.connect(lambda d: got.append((sim.now, d)))
+        link.send(make_datagram(576))
+        sim.run()
+        expected = 576 * 8 / 56_000 + 0.01
+        assert got[0][0] == pytest.approx(expected)
+
+    def test_serialization_queues_behind_transmission(self, sim):
+        got = []
+        link = WiredLink(sim, bandwidth_bps=8_000, prop_delay=0.0)
+        link.connect(lambda d: got.append(sim.now))
+        link.send(make_datagram(100))  # 0.1 s each
+        link.send(make_datagram(100))
+        sim.run()
+        assert got == [pytest.approx(0.1), pytest.approx(0.2)]
+
+    def test_delivery_preserves_order(self, sim):
+        got = []
+        link = WiredLink(sim, bandwidth_bps=56_000, prop_delay=0.005)
+        link.connect(lambda d: got.append(d.uid))
+        datagrams = [make_datagram() for _ in range(5)]
+        for dg in datagrams:
+            link.send(dg)
+        sim.run()
+        assert got == [d.uid for d in datagrams]
+
+    def test_send_without_receiver_raises(self, sim):
+        link = WiredLink(sim, 56_000, 0.01)
+        with pytest.raises(RuntimeError):
+            link.send(make_datagram())
+
+    def test_capacity_drop(self, sim):
+        got = []
+        link = WiredLink(sim, 56_000, 0.0, queue_capacity=1)
+        link.connect(lambda d: got.append(d))
+        # First goes straight to the transmitter, next two queue (cap 1).
+        assert link.send(make_datagram())
+        assert link.send(make_datagram())
+        assert not link.send(make_datagram())
+        sim.run()
+        assert len(got) == 2
+
+    def test_stats(self, sim):
+        link = WiredLink(sim, 56_000, 0.01)
+        link.connect(lambda d: None)
+        link.send(make_datagram(576))
+        sim.run()
+        assert link.stats.transmitted == 1
+        assert link.stats.bytes_transmitted == 576
+        assert link.stats.busy_time == pytest.approx(576 * 8 / 56_000)
+
+    def test_invalid_parameters(self, sim):
+        with pytest.raises(ValueError):
+            WiredLink(sim, 0, 0.01)
+        with pytest.raises(ValueError):
+            WiredLink(sim, 56_000, -0.01)
+
+
+class TestWirelessLinkConfig:
+    def test_effective_bandwidth(self):
+        cfg = WirelessLinkConfig(raw_bandwidth_bps=19_200, overhead_factor=1.5)
+        assert cfg.effective_bandwidth_bps == pytest.approx(12_800)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WirelessLinkConfig(raw_bandwidth_bps=-1)
+        with pytest.raises(ValueError):
+            WirelessLinkConfig(overhead_factor=0.5)
+        with pytest.raises(ValueError):
+            WirelessLinkConfig(mtu_bytes=0)
+
+
+class TestWirelessLink:
+    def make_link(self, sim, good=100.0, bad=1.0):
+        channel = deterministic_channel(good, bad)
+        link = WirelessLink(sim, WirelessLinkConfig(), channel)
+        return link, channel
+
+    def test_airtime_includes_overhead(self, sim):
+        link, _ = self.make_link(sim)
+        # 128 B fragment -> 192 B on air at 19.2 kbps = 80 ms.
+        assert link.tx_time(128) == pytest.approx(0.08)
+        assert link.air_bytes(128) == 192
+
+    def test_good_state_delivery(self, sim):
+        link, _ = self.make_link(sim)
+        got = []
+        link.connect(lambda f: got.append(sim.now))
+        link.send(make_frame(128))
+        sim.run()
+        assert got == [pytest.approx(0.08 + 0.002)]
+
+    def test_bad_state_frame_is_lost(self, sim):
+        link, channel = self.make_link(sim, good=0.5, bad=100.0)
+        got = []
+        link.connect(got.append)
+        sim.schedule(1.0, link.send, make_frame(128))  # deep in bad state
+        sim.run()
+        assert got == []
+        assert link.stats.corrupted == 1
+
+    def test_tx_complete_fires_even_on_corruption(self, sim):
+        link, _ = self.make_link(sim, good=0.5, bad=100.0)
+        link.connect(lambda f: None)
+        done = []
+        sim.schedule(1.0, link.send, make_frame(128), lambda f: done.append(sim.now))
+        sim.run()
+        assert done == [pytest.approx(1.08)]
+
+    def test_link_acks_preempt_data_queue(self, sim):
+        link, _ = self.make_link(sim)
+        got = []
+        link.connect(lambda f: got.append(f.kind))
+        link.send(make_frame(128))
+        link.send(make_frame(128))
+        link.send(link_ack_frame(1))  # queued last, must jump the data
+        sim.run()
+        assert got[1] == FrameKind.LINK_ACK
+
+    def test_serialization_order_within_class(self, sim):
+        link, _ = self.make_link(sim)
+        got = []
+        link.connect(lambda f: got.append(f.uid))
+        frames = [make_frame(128) for _ in range(4)]
+        for f in frames:
+            link.send(f)
+        sim.run()
+        assert got == [f.uid for f in frames]
+
+    def test_send_without_receiver_raises(self, sim):
+        link, _ = self.make_link(sim)
+        with pytest.raises(RuntimeError):
+            link.send(make_frame())
+
+    def test_stats_loss_rate(self, sim):
+        link, _ = self.make_link(sim, good=0.09, bad=1000.0)
+        link.connect(lambda f: None)
+        for _ in range(2):
+            link.send(make_frame(128))
+        sim.run()
+        # First frame [0, 0.08] fits in the 0.09 s good period; the
+        # second [0.08, 0.16] straddles into the deep fade and dies.
+        assert link.stats.loss_rate() == 0.5
+        assert link.stats.corrupted == 1
