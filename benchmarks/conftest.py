@@ -25,6 +25,11 @@ DEFAULT_REPS = int(os.environ.get("REPRO_BENCH_REPS", "10"))
 #: quick smoke runs: REPRO_BENCH_SCALE=0.25 pytest benchmarks/ ...
 SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
 
+#: Worker processes for the parallel experiment engine (seed fan-out).
+#: 1 = serial (the default, and the most reproducible timing); 0 = one
+#: worker per CPU.  REPRO_BENCH_WORKERS=4 pytest benchmarks/ ...
+WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
+
 #: Below 0.8x scale the runs are smoke tests: each benchmark still
 #: regenerates and saves its figure, but only sanity-level assertions
 #: apply (tiny transfers over a fading link are far too noisy for the

@@ -12,7 +12,7 @@
 
 from __future__ import annotations
 
-from conftest import DEFAULT_REPS, SCALE, STRICT, run_once
+from conftest import DEFAULT_REPS, SCALE, STRICT, WORKERS, run_once
 
 from repro.experiments.ascii_plot import plot_series
 from repro.experiments.config import LAN_BAD_PERIODS
@@ -50,7 +50,9 @@ def test_fig10_lan_throughput(benchmark, report):
     transfer = int(4 * 1024 * 1024 * SCALE)
     data = run_once(
         benchmark,
-        lambda: figure_10(replications=DEFAULT_REPS, transfer_bytes=transfer),
+        lambda: figure_10(
+            replications=DEFAULT_REPS, transfer_bytes=transfer, workers=WORKERS
+        ),
     )
     report("fig10_lan_tput", _format(data))
     if not STRICT:

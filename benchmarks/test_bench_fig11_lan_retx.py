@@ -10,7 +10,7 @@ Same setup as Figure 10.  The paper's reading:
 
 from __future__ import annotations
 
-from conftest import DEFAULT_REPS, SCALE, run_once
+from conftest import DEFAULT_REPS, SCALE, WORKERS, run_once
 
 from repro.experiments.config import LAN_BAD_PERIODS
 from repro.experiments.figures import figure_11
@@ -38,7 +38,9 @@ def test_fig11_lan_retransmitted_data(benchmark, report):
     transfer = int(4 * 1024 * 1024 * SCALE)
     data = run_once(
         benchmark,
-        lambda: figure_11(replications=DEFAULT_REPS, transfer_bytes=transfer),
+        lambda: figure_11(
+            replications=DEFAULT_REPS, transfer_bytes=transfer, workers=WORKERS
+        ),
     )
     report("fig11_lan_retx", _format(data))
 

@@ -12,7 +12,7 @@ One curve per mean bad-period length (1-4 s), mean good period 10 s,
 
 from __future__ import annotations
 
-from conftest import DEFAULT_REPS, SCALE, run_once
+from conftest import DEFAULT_REPS, SCALE, WORKERS, run_once
 
 from repro.experiments.ascii_plot import plot_series
 from repro.experiments.config import WAN_BAD_PERIODS, WAN_PACKET_SIZES
@@ -53,7 +53,9 @@ def _format(series):
 def test_fig7_throughput_vs_packet_size(benchmark, report):
     transfer = int(100 * 1024 * SCALE)
     series = run_once(
-        benchmark, lambda: figure_7(replications=DEFAULT_REPS, transfer_bytes=transfer)
+        benchmark, lambda: figure_7(
+            replications=DEFAULT_REPS, transfer_bytes=transfer, workers=WORKERS
+        )
     )
     report("fig7_wan_basic", _format(series))
 

@@ -13,7 +13,7 @@ reading:
 
 from __future__ import annotations
 
-from conftest import DEFAULT_REPS, SCALE, run_once
+from conftest import DEFAULT_REPS, SCALE, WORKERS, run_once
 
 from repro.experiments.ascii_plot import plot_series
 from repro.experiments.config import WAN_BAD_PERIODS, WAN_PACKET_SIZES
@@ -54,7 +54,9 @@ def _format(series):
 def test_fig8_ebsn_throughput_vs_packet_size(benchmark, report):
     transfer = int(100 * 1024 * SCALE)
     series = run_once(
-        benchmark, lambda: figure_8(replications=DEFAULT_REPS, transfer_bytes=transfer)
+        benchmark, lambda: figure_8(
+            replications=DEFAULT_REPS, transfer_bytes=transfer, workers=WORKERS
+        )
     )
     report("fig8_wan_ebsn", _format(series))
 

@@ -11,7 +11,7 @@ reading:
 
 from __future__ import annotations
 
-from conftest import DEFAULT_REPS, SCALE, run_once
+from conftest import DEFAULT_REPS, SCALE, WORKERS, run_once
 
 from repro.experiments.config import WAN_BAD_PERIODS, WAN_PACKET_SIZES
 from repro.experiments.figures import figure_9
@@ -37,7 +37,9 @@ def _format(data):
 def test_fig9_retransmitted_data(benchmark, report):
     transfer = int(100 * 1024 * SCALE)
     data = run_once(
-        benchmark, lambda: figure_9(replications=DEFAULT_REPS, transfer_bytes=transfer)
+        benchmark, lambda: figure_9(
+            replications=DEFAULT_REPS, transfer_bytes=transfer, workers=WORKERS
+        )
     )
     report("fig9_wan_retx", _format(data))
 

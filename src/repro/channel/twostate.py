@@ -86,6 +86,17 @@ class TwoStateChannel:
     of transition times, so queries may look back at intervals that
     began before the most recent query (a long frame's airtime starts
     in the past relative to its completion event).
+
+    The timeline does not grow without bound: query starts only move
+    forward in simulation time, so sojourns far behind the newest query
+    can never be read again.  A sliding watermark (newest query start
+    minus ``prune_retention`` seconds of slack for frames still in
+    flight on the other link direction) prunes the dead prefix whenever
+    the timeline exceeds ``prune_threshold`` entries, keeping both
+    memory and per-query ``bisect`` cost O(retention/mean-sojourn)
+    instead of O(transfer length).  Queries behind the pruned region
+    raise rather than silently misread; set ``prune_threshold=0`` to
+    keep the full history (e.g. for offline timeline inspection).
     """
 
     def __init__(
@@ -96,11 +107,15 @@ class TwoStateChannel:
         rng: Optional[random.Random] = None,
         deterministic_errors: bool = False,
         initial_state: ChannelState = ChannelState.GOOD,
+        prune_threshold: int = 512,
+        prune_retention: float = 60.0,
     ) -> None:
         if not 0.0 <= ber_good <= 1.0 or not 0.0 <= ber_bad <= 1.0:
             raise ValueError("bit error rates must be in [0, 1]")
         if rng is None and not deterministic_errors:
             raise ValueError("stochastic error mode requires an rng")
+        if prune_retention < 0:
+            raise ValueError("prune_retention must be >= 0")
         self._sojourns = sojourns
         self.ber_good = ber_good
         self.ber_bad = ber_bad
@@ -112,6 +127,13 @@ class TwoStateChannel:
         self._boundaries: List[float] = [0.0]
         self._states: List[ChannelState] = [initial_state]
         self._horizon: float = 0.0 + sojourns.next_sojourn(initial_state)
+        self._prune_threshold = prune_threshold
+        self._prune_retention = prune_retention
+        #: Everything before this time has been discarded.
+        self._pruned_until: float = 0.0
+        #: Newest query start seen (the watermark pruning slides behind).
+        self._query_watermark: float = 0.0
+        self.sojourns_pruned = 0
         self.frames_tested = 0
         self.frames_corrupted = 0
 
@@ -126,10 +148,49 @@ class TwoStateChannel:
             self._states.append(next_state)
             self._horizon += self._sojourns.next_sojourn(next_state)
 
+    def _note_query(self, start: float) -> None:
+        """Advance the watermark and prune once the timeline is long."""
+        if start < self._pruned_until:
+            raise ValueError(
+                f"query at {start} reaches behind the pruned timeline "
+                f"(history before {self._pruned_until} was discarded); "
+                f"raise prune_retention or disable pruning"
+            )
+        if start > self._query_watermark:
+            self._query_watermark = start
+        if (
+            self._prune_threshold > 0
+            and len(self._boundaries) > self._prune_threshold
+        ):
+            self.prune_before(self._query_watermark - self._prune_retention)
+
+    def prune_before(self, time: float) -> int:
+        """Discard sojourns that ended at or before ``time``.
+
+        The sojourn containing ``time`` is always retained, so any
+        query with ``start >= time`` still resolves exactly as before
+        pruning.  Returns the number of sojourns dropped.
+        """
+        if time <= self._boundaries[0]:
+            return 0
+        index = bisect_right(self._boundaries, time) - 1
+        if index <= 0:
+            return 0
+        del self._boundaries[:index]
+        del self._states[:index]
+        self._pruned_until = time
+        self.sojourns_pruned += index
+        return index
+
+    def timeline_length(self) -> int:
+        """Number of sojourns currently materialized (pruning metric)."""
+        return len(self._boundaries)
+
     def state_at(self, time: float) -> ChannelState:
         """Channel state at absolute ``time`` (>= 0)."""
         if time < 0:
             raise ValueError(f"time must be >= 0, got {time}")
+        self._note_query(time)
         self._extend_to(time)
         index = bisect_right(self._boundaries, time) - 1
         return self._states[index]
@@ -138,6 +199,7 @@ class TwoStateChannel:
         """Yield ``(seg_start, seg_end, state)`` covering ``[start, end]``."""
         if end < start:
             raise ValueError(f"end {end} before start {start}")
+        self._note_query(start)
         self._extend_to(end)
         index = bisect_right(self._boundaries, start) - 1
         cursor = start
@@ -163,15 +225,22 @@ class TwoStateChannel:
             raise ValueError(f"duration must be >= 0, got {duration}")
         if nbits < 0:
             raise ValueError(f"nbits must be >= 0, got {nbits}")
-        if start + duration <= start or nbits == 0:
+        end = start + duration
+        if end <= start or nbits == 0:
             # Zero (or floating-point-negligible) airtime: all bits see
             # the state at the start instant.
             state = self.state_at(start)
             return (float(nbits), 0.0) if state is ChannelState.GOOD else (0.0, float(nbits))
         bits_good = 0.0
         bits_bad = 0.0
-        for seg_start, seg_end, state in self.intervals(start, start + duration):
-            share = nbits * (seg_end - seg_start) / duration
+        # Normalize by the float width of [start, end], not the nominal
+        # duration: at large offsets ``end - start`` rounds to a
+        # different value than ``duration`` (an ulp of slack), and the
+        # segments below tile exactly [start, end].  Dividing by the
+        # tiled width is what conserves nbits.
+        span = end - start
+        for seg_start, seg_end, state in self.intervals(start, end):
+            share = nbits * (seg_end - seg_start) / span
             if state is ChannelState.GOOD:
                 bits_good += share
             else:

@@ -39,6 +39,7 @@ from repro.experiments.figures import (
     trace_figure,
     wan_theoretical_kbps,
 )
+from repro.experiments.cache import ResultCache, default_cache_dir
 from repro.experiments.runner import run_replicated
 from repro.experiments.topology import Scheme, run_scenario
 
@@ -53,6 +54,26 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         default="ebsn",
         help="recovery scheme (default: ebsn)",
     )
+
+
+def _add_engine(parser: argparse.ArgumentParser) -> None:
+    """Parallel-engine knobs shared by the multi-run commands."""
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for seed fan-out (1 = serial, 0 = one per CPU)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help=f"disable the on-disk result cache ({default_cache_dir()})",
+    )
+
+
+def _engine_cache(args: argparse.Namespace) -> Optional[ResultCache]:
+    """The result cache to use, honoring ``--no-cache``."""
+    return None if args.no_cache else ResultCache()
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -102,6 +123,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     scheme = SCHEMES[args.scheme]
+    cache = _engine_cache(args)
     rows = []
     if args.lan:
         for bad in LAN_BAD_PERIODS:
@@ -113,6 +135,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 ),
                 replications=args.replications,
                 base_seed=args.seed,
+                workers=args.workers,
+                cache=cache,
             )
             rows.append(
                 [
@@ -142,6 +166,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 ),
                 replications=args.replications,
                 base_seed=args.seed,
+                workers=args.workers,
+                cache=cache,
             )
             rows.append(
                 [
@@ -168,12 +194,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 def _cmd_figure(args: argparse.Namespace) -> int:
     n = args.number
     reps = args.replications
+    engine = dict(workers=args.workers, cache=_engine_cache(args))
     if n in (3, 4, 5):
         result = trace_figure(n)
         print(result.trace.render(width=100, t_max=60.0, title=f"Figure {n}"))
         return 0
     if n == 7 or n == 8:
-        series = (figure_7 if n == 7 else figure_8)(replications=reps)
+        series = (figure_7 if n == 7 else figure_8)(replications=reps, **engine)
         header = ["size(B)"] + [f"bad={b:g}s" for b in WAN_BAD_PERIODS]
         rows = [
             [str(size)]
@@ -184,7 +211,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         print(format_table(header, rows, title=f"Figure {n} (throughput, kbps):"))
         return 0
     if n == 9:
-        data = figure_9(replications=reps)
+        data = figure_9(replications=reps, **engine)
         for label, series in data.items():
             header = ["size(B)"] + [f"bad={b:g}s" for b in WAN_BAD_PERIODS]
             rows = [
@@ -198,7 +225,11 @@ def _cmd_figure(args: argparse.Namespace) -> int:
             print(format_table(header, rows, title=f"Figure 9, {label} (KB retransmitted):"))
         return 0
     if n in (10, 11):
-        data = figure_10(replications=reps) if n == 10 else figure_11(replications=reps)
+        data = (
+            figure_10(replications=reps, **engine)
+            if n == 10
+            else figure_11(replications=reps, **engine)
+        )
         if n == 10:
             rows = [
                 [
@@ -441,11 +472,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--bad-period", type=float, default=1.0)
     p.add_argument("--transfer-kb", type=int, default=100)
     p.add_argument("--replications", type=int, default=5)
+    _add_engine(p)
     p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser("figure", help="regenerate a paper figure's series")
     p.add_argument("number", type=int, help="figure number (3-5, 7-11)")
     p.add_argument("--replications", type=int, default=5)
+    _add_engine(p)
     p.set_defaults(func=_cmd_figure)
 
     p = sub.add_parser("csdp", help="multi-connection scheduling study")

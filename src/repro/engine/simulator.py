@@ -24,7 +24,7 @@ class Event:
     object only to :meth:`cancel` it.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "_sim")
 
     def __init__(
         self,
@@ -32,21 +32,32 @@ class Event:
         seq: int,
         callback: Callable[..., Any],
         args: tuple,
+        sim: "Optional[Simulator]" = None,
     ) -> None:
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
+        # Back-reference while the event sits in the owning simulator's
+        # heap; cleared on pop so the cancelled-in-heap accounting stays
+        # exact.  None for events constructed outside a simulator.
+        self._sim = sim
 
     def cancel(self) -> None:
         """Mark the event so the loop skips it.
 
         Cancellation is lazy: the heap entry stays in place and is
-        discarded when popped.  Cancelling an already-executed or
-        already-cancelled event is a no-op.
+        discarded when popped — but the owning simulator counts dead
+        entries and compacts the heap when they outnumber live ones.
+        Cancelling an already-executed or already-cancelled event is a
+        no-op.
         """
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._sim is not None:
+            self._sim._note_cancelled()
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -71,13 +82,20 @@ class Simulator:
     1.5
     """
 
+    #: Don't bother compacting heaps smaller than this: the rebuild
+    #: bookkeeping would dominate the bisect savings.
+    COMPACT_MIN_HEAP = 64
+
     def __init__(self) -> None:
         self._heap: list[Event] = []
         self._now: float = 0.0
         self._seq: int = 0
         self._running = False
         self._stopped = False
+        #: Cancelled events still sitting in the heap (lazy deletion).
+        self._cancelled_count: int = 0
         self.events_executed: int = 0
+        self.heap_compactions: int = 0
 
     @property
     def now(self) -> float:
@@ -96,10 +114,39 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule into the past (time={time}, now={self._now})"
             )
-        event = Event(time, self._seq, callback, args)
+        event = Event(time, self._seq, callback, args, sim=self)
         self._seq += 1
         heapq.heappush(self._heap, event)
         return event
+
+    def _note_cancelled(self) -> None:
+        """Account one in-heap cancellation; compact when dead > live.
+
+        Lazy deletion leaks in retransmission-heavy runs (every
+        restarted RTO/ARQ timer leaves a corpse in the heap); rebuilding
+        once cancelled entries outnumber live ones keeps total
+        compaction work linear in the number of cancellations while
+        :meth:`peek`/:meth:`step` never churn through long dead runs.
+        """
+        self._cancelled_count += 1
+        if (
+            len(self._heap) >= self.COMPACT_MIN_HEAP
+            and self._cancelled_count * 2 > len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop every cancelled entry and re-heapify the survivors."""
+        live = []
+        for event in self._heap:
+            if event.cancelled:
+                event._sim = None
+            else:
+                live.append(event)
+        self._heap = live
+        heapq.heapify(self._heap)
+        self._cancelled_count = 0
+        self.heap_compactions += 1
 
     def stop(self) -> None:
         """Stop the run loop after the currently executing event."""
@@ -108,14 +155,17 @@ class Simulator:
     def peek(self) -> Optional[float]:
         """Time of the next pending event, or ``None`` if the heap is empty."""
         while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
+            heapq.heappop(self._heap)._sim = None
+            self._cancelled_count -= 1
         return self._heap[0].time if self._heap else None
 
     def step(self) -> bool:
         """Execute the single next event.  Returns False if none remain."""
         while self._heap:
             event = heapq.heappop(self._heap)
+            event._sim = None
             if event.cancelled:
+                self._cancelled_count -= 1
                 continue
             self._now = event.time
             self.events_executed += 1
@@ -155,5 +205,9 @@ class Simulator:
             self._running = False
 
     def pending_count(self) -> int:
-        """Number of live (non-cancelled) events still scheduled."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Number of live (non-cancelled) events still scheduled.
+
+        O(1): the heap length minus the lazily-deleted corpse count,
+        both maintained incrementally.
+        """
+        return len(self._heap) - self._cancelled_count

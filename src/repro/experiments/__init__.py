@@ -7,6 +7,10 @@
   paper's WAN (§5.1) and LAN (§5.2) studies.
 * :mod:`repro.experiments.runner` — seed replication, mean/stddev,
   parameter sweeps.
+* :mod:`repro.experiments.parallel` — process-pool fan-out of seeded
+  work units (the parallel experiment engine).
+* :mod:`repro.experiments.cache` — content-addressed on-disk result
+  cache keyed by config + seed + code version.
 * :mod:`repro.experiments.figures` — one entry point per paper
   figure, returning the data series the figure plots.
 * :mod:`repro.experiments.ascii_plot` — terminal rendering of series.
@@ -29,6 +33,8 @@ from repro.experiments.config import (
     WAN_PACKET_SIZES,
 )
 from repro.experiments.runner import ReplicatedResult, run_replicated, sweep
+from repro.experiments.parallel import ParallelRunner, RunSummary
+from repro.experiments.cache import ResultCache, config_digest, default_cache_dir
 
 __all__ = [
     "ChannelConfig",
@@ -46,4 +52,9 @@ __all__ = [
     "ReplicatedResult",
     "run_replicated",
     "sweep",
+    "ParallelRunner",
+    "RunSummary",
+    "ResultCache",
+    "config_digest",
+    "default_cache_dir",
 ]

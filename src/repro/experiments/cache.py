@@ -1,0 +1,173 @@
+"""Content-addressed on-disk cache for simulation results.
+
+A cached entry is keyed by a stable digest of the full
+:class:`~repro.experiments.topology.ScenarioConfig` (every field,
+recursively canonicalized), the seed baked into that config, and a
+*code-version token* — a hash over the ``repro`` package's source
+files.  Any edit to the simulator therefore invalidates every cached
+point automatically; there is no manual versioning to forget.
+
+The store layout is ``<root>/<aa>/<digest>.pkl`` (two-level fan-out so
+directories stay small).  Writes are atomic (tmp file + ``os.replace``)
+so a crashed or parallel run can never leave a torn entry.  The cache
+stores only the lightweight :class:`~repro.experiments.parallel.RunSummary`
+payload, never live simulation objects.
+
+Default location: ``$REPRO_CACHE_DIR`` if set, else
+``~/.cache/repro-tcp-wireless``.  ``repro sweep``/``repro figure``
+use it unless ``--no-cache`` is passed; library calls only cache when
+handed a :class:`ResultCache` explicitly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Optional
+
+#: Bump when the cached payload format changes incompatibly.
+CACHE_FORMAT = 1
+
+_code_version_token: Optional[str] = None
+
+
+def code_version_token() -> str:
+    """Hash of every ``repro`` source file (the cache's code fingerprint).
+
+    Computed once per process.  ~60 small files, so this costs a few
+    milliseconds on first use — noise next to a single simulated run.
+    """
+    global _code_version_token
+    if _code_version_token is None:
+        import repro
+
+        package_root = Path(repro.__file__).resolve().parent
+        digest = hashlib.sha256()
+        for source in sorted(package_root.rglob("*.py")):
+            digest.update(str(source.relative_to(package_root)).encode())
+            digest.update(b"\0")
+            digest.update(source.read_bytes())
+        _code_version_token = digest.hexdigest()[:16]
+    return _code_version_token
+
+
+def _canonical(value: Any) -> Any:
+    """Reduce ``value`` to a JSON-serializable canonical form.
+
+    Dataclasses become ``{class-name: {field: ...}}`` mappings, enums
+    their values, classes their qualified names; floats go through
+    ``repr`` so the digest sees full precision, not str() rounding.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = {
+            f.name: _canonical(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+        return {f"{type(value).__module__}.{type(value).__qualname__}": fields}
+    if isinstance(value, enum.Enum):
+        return f"{type(value).__qualname__}.{value.name}"
+    if isinstance(value, type):
+        return f"{value.__module__}.{value.__qualname__}"
+    if isinstance(value, float):
+        return repr(value)
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in sorted(value.items())}
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    raise TypeError(
+        f"cannot canonicalize {type(value).__qualname__} for cache keying"
+    )
+
+
+def config_digest(config: Any, code_token: Optional[str] = None) -> str:
+    """Stable content digest for one fully-seeded scenario config."""
+    payload = json.dumps(
+        {
+            "format": CACHE_FORMAT,
+            "code": code_token if code_token is not None else code_version_token(),
+            "config": _canonical(config),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def default_cache_dir() -> Path:
+    """Where ``repro`` caches results unless told otherwise."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-tcp-wireless"
+
+
+class ResultCache:
+    """Content-addressed pickle store for :class:`RunSummary` objects."""
+
+    def __init__(self, root: Optional[Path] = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+        # One token per cache handle: stable within a run, recomputed
+        # per process so code edits are always picked up.
+        self._code_token = code_version_token()
+
+    def key(self, config: Any) -> str:
+        """Digest for ``config`` under the current code version."""
+        return config_digest(config, self._code_token)
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> Optional[Any]:
+        """Load a cached summary, or ``None`` on miss/corruption."""
+        path = self._path(key)
+        try:
+            with path.open("rb") as fh:
+                entry = pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            self.misses += 1
+            return None
+        if not isinstance(entry, dict) or entry.get("format") != CACHE_FORMAT:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry["summary"]
+
+    def put(self, key: str, summary: Any) -> None:
+        """Atomically persist one summary under ``key``."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = pickle.dumps(
+            {"format": CACHE_FORMAT, "summary": summary},
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(payload)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        if not self.root.is_dir():
+            return 0
+        for entry in self.root.glob("*/*.pkl"):
+            entry.unlink(missing_ok=True)
+            removed += 1
+        return removed

@@ -25,6 +25,7 @@ from repro.experiments.config import (
     trace_example_scenario,
     wan_scenario,
 )
+from repro.experiments.cache import ResultCache
 from repro.experiments.runner import ReplicatedResult, run_replicated
 from repro.experiments.topology import ScenarioResult, Scheme, run_scenario
 from repro.metrics.theoretical import theoretical_throughput_bps
@@ -76,6 +77,8 @@ def _wan_packet_sweep(
     packet_sizes: List[int],
     replications: int,
     transfer_bytes: int,
+    workers: Optional[int] = 1,
+    cache: Optional[ResultCache] = None,
 ) -> Dict[float, SweepSeries]:
     series: Dict[float, SweepSeries] = {}
     for bad in bad_periods:
@@ -88,7 +91,9 @@ def _wan_packet_sweep(
                 transfer_bytes=transfer_bytes,
                 record_trace=False,
             )
-            curve.points[size] = run_replicated(config, replications)
+            curve.points[size] = run_replicated(
+                config, replications, workers=workers, cache=cache
+            )
         series[bad] = curve
     return series
 
@@ -98,6 +103,8 @@ def figure_7(
     packet_sizes: Optional[List[int]] = None,
     bad_periods: Optional[List[float]] = None,
     transfer_bytes: int = WAN_TRANSFER_BYTES,
+    workers: Optional[int] = 1,
+    cache: Optional[ResultCache] = None,
 ) -> Dict[float, SweepSeries]:
     """Fig 7: basic TCP throughput vs packet size, one curve per bad period."""
     return _wan_packet_sweep(
@@ -106,6 +113,8 @@ def figure_7(
         packet_sizes or WAN_PACKET_SIZES,
         replications,
         transfer_bytes,
+        workers=workers,
+        cache=cache,
     )
 
 
@@ -114,6 +123,8 @@ def figure_8(
     packet_sizes: Optional[List[int]] = None,
     bad_periods: Optional[List[float]] = None,
     transfer_bytes: int = WAN_TRANSFER_BYTES,
+    workers: Optional[int] = 1,
+    cache: Optional[ResultCache] = None,
 ) -> Dict[float, SweepSeries]:
     """Fig 8: EBSN throughput vs packet size, one curve per bad period."""
     return _wan_packet_sweep(
@@ -122,6 +133,8 @@ def figure_8(
         packet_sizes or WAN_PACKET_SIZES,
         replications,
         transfer_bytes,
+        workers=workers,
+        cache=cache,
     )
 
 
@@ -130,6 +143,8 @@ def figure_9(
     packet_sizes: Optional[List[int]] = None,
     bad_periods: Optional[List[float]] = None,
     transfer_bytes: int = WAN_TRANSFER_BYTES,
+    workers: Optional[int] = 1,
+    cache: Optional[ResultCache] = None,
 ) -> Dict[str, Dict[float, SweepSeries]]:
     """Fig 9: data retransmitted vs packet size — basic TCP vs EBSN."""
     return {
@@ -139,6 +154,8 @@ def figure_9(
             packet_sizes or WAN_PACKET_SIZES,
             replications,
             transfer_bytes,
+            workers=workers,
+            cache=cache,
         ),
         "ebsn": _wan_packet_sweep(
             Scheme.EBSN,
@@ -146,6 +163,8 @@ def figure_9(
             packet_sizes or WAN_PACKET_SIZES,
             replications,
             transfer_bytes,
+            workers=workers,
+            cache=cache,
         ),
     }
 
@@ -167,13 +186,17 @@ def _lan_bad_sweep(
     bad_periods: List[float],
     replications: int,
     transfer_bytes: int,
+    workers: Optional[int] = 1,
+    cache: Optional[ResultCache] = None,
 ) -> SweepSeries:
     curve = SweepSeries(label=scheme.value)
     for bad in bad_periods:
         config = lan_scenario(
             scheme=scheme, bad_period_mean=bad, transfer_bytes=transfer_bytes
         )
-        curve.points[bad] = run_replicated(config, replications)
+        curve.points[bad] = run_replicated(
+            config, replications, workers=workers, cache=cache
+        )
     return curve
 
 
@@ -181,12 +204,20 @@ def figure_10(
     replications: int = 3,
     bad_periods: Optional[List[float]] = None,
     transfer_bytes: int = LAN_TRANSFER_BYTES,
+    workers: Optional[int] = 1,
+    cache: Optional[ResultCache] = None,
 ) -> Dict[str, SweepSeries]:
     """Fig 10: LAN throughput vs bad period — basic vs EBSN (+ tput_th)."""
     bads = bad_periods or LAN_BAD_PERIODS
     return {
-        "basic": _lan_bad_sweep(Scheme.BASIC, bads, replications, transfer_bytes),
-        "ebsn": _lan_bad_sweep(Scheme.EBSN, bads, replications, transfer_bytes),
+        "basic": _lan_bad_sweep(
+            Scheme.BASIC, bads, replications, transfer_bytes,
+            workers=workers, cache=cache,
+        ),
+        "ebsn": _lan_bad_sweep(
+            Scheme.EBSN, bads, replications, transfer_bytes,
+            workers=workers, cache=cache,
+        ),
     }
 
 
@@ -194,9 +225,13 @@ def figure_11(
     replications: int = 3,
     bad_periods: Optional[List[float]] = None,
     transfer_bytes: int = LAN_TRANSFER_BYTES,
+    workers: Optional[int] = 1,
+    cache: Optional[ResultCache] = None,
 ) -> Dict[str, SweepSeries]:
     """Fig 11: LAN data retransmitted vs bad period — basic vs EBSN."""
-    return figure_10(replications, bad_periods, transfer_bytes)
+    return figure_10(
+        replications, bad_periods, transfer_bytes, workers=workers, cache=cache
+    )
 
 
 def lan_theoretical_mbps(bad_period_mean: float, good_period_mean: float = 4.0) -> float:

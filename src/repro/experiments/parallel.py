@@ -1,0 +1,171 @@
+"""Parallel experiment engine: fan seeds out over a process pool.
+
+Every figure in the paper is an average over independent seeds, and
+every seed is an independent single-threaded simulation — an
+embarrassingly parallel workload.  :class:`ParallelRunner` takes a
+list of fully-seeded :class:`~repro.experiments.topology.ScenarioConfig`
+work units, consults an optional :class:`~repro.experiments.cache.ResultCache`,
+and dispatches only the cache misses over a
+``concurrent.futures.ProcessPoolExecutor`` (fork start method; falls
+back to in-process serial execution when ``workers <= 1``, when there
+is at most one miss, or when the platform cannot fork).
+
+Workers return :class:`RunSummary` — a small picklable record of the
+metrics the aggregation layer reads — rather than the full
+:class:`~repro.experiments.topology.ScenarioResult`, whose live
+sender/sink/link objects are neither picklable nor needed for
+replicated statistics.  Results come back in input order, so the
+aggregates downstream are bit-identical to a serial run over the same
+seeds.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.experiments import topology
+from repro.experiments.cache import ResultCache
+from repro.experiments.topology import ScenarioConfig, ScenarioResult
+from repro.metrics import ConnectionMetrics
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """The picklable essence of one scenario run.
+
+    Exactly what replication/sweep aggregation consumes: the connection
+    metrics, the completion flag, the theoretical ceiling, and the
+    seeded config the run was built from.  ``trace`` is always ``None``
+    — replicated runs disable tracing — and exists so summary objects
+    satisfy the same reads (``r.trace``, ``r.config.seed``, ...) that
+    full results do.
+    """
+
+    config: ScenarioConfig
+    metrics: ConnectionMetrics
+    completed: bool
+    tput_th_bps: float
+    trace: None = None
+
+
+def summarize(result: ScenarioResult) -> RunSummary:
+    """Collapse a full scenario result to its picklable summary."""
+    return RunSummary(
+        config=result.config,
+        metrics=result.metrics,
+        completed=result.completed,
+        tput_th_bps=result.tput_th_bps,
+    )
+
+
+def _execute_unit(config: ScenarioConfig) -> RunSummary:
+    """Worker entry point: run one seeded config, return its summary.
+
+    Module-level (not a closure) so the process pool can pickle it;
+    looked up through :mod:`repro.experiments.topology` at call time so
+    tests can monkeypatch ``run_scenario`` and count invocations.
+    """
+    return summarize(topology.run_scenario(config))
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Normalize a worker-count request.
+
+    ``None``/``1`` → serial; ``0`` or negative → one worker per CPU.
+    """
+    if workers is None:
+        return 1
+    if workers <= 0:
+        return os.cpu_count() or 1
+    return workers
+
+
+def _fork_context() -> Optional[multiprocessing.context.BaseContext]:
+    """The fork start method, or ``None`` where unavailable.
+
+    Fork keeps worker startup at microseconds (no re-import of the
+    package per worker); on platforms without it we stay serial rather
+    than pay spawn's interpreter boot per pool.
+    """
+    if "fork" not in multiprocessing.get_all_start_methods():
+        return None
+    return multiprocessing.get_context("fork")
+
+
+class ParallelRunner:
+    """Runs batches of seeded scenario configs, cached then parallel.
+
+    Parameters
+    ----------
+    workers:
+        Process count.  ``1`` (default) runs in-process; ``0`` means
+        one per CPU.
+    cache:
+        Optional :class:`ResultCache`; hits skip simulation entirely.
+    chunk_size:
+        Work units per pool task.  Default: enough to give each worker
+        ~4 chunks, which amortizes pickling without starving the tail.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = 1,
+        cache: Optional[ResultCache] = None,
+        chunk_size: Optional[int] = None,
+    ) -> None:
+        self.workers = resolve_workers(workers)
+        self.cache = cache
+        self.chunk_size = chunk_size
+
+    def _run_serial(self, configs: Sequence[ScenarioConfig]) -> List[RunSummary]:
+        return [_execute_unit(config) for config in configs]
+
+    def _run_pool(self, configs: Sequence[ScenarioConfig]) -> List[RunSummary]:
+        context = _fork_context()
+        if context is None:
+            return self._run_serial(configs)
+        workers = min(self.workers, len(configs))
+        chunk = self.chunk_size
+        if chunk is None:
+            chunk = max(1, len(configs) // (workers * 4))
+        with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
+            return list(pool.map(_execute_unit, configs, chunksize=chunk))
+
+    def run(self, configs: Sequence[ScenarioConfig]) -> List[RunSummary]:
+        """Run every config, in input order, via cache then pool.
+
+        Only cache misses are simulated; fresh results are written back
+        so the next invocation of the same suite is pure cache reads.
+        """
+        configs = list(configs)
+        if not configs:
+            return []
+        summaries: List[Optional[RunSummary]] = [None] * len(configs)
+        miss_indices: List[int] = []
+        keys: List[Optional[str]] = [None] * len(configs)
+        if self.cache is not None:
+            for i, config in enumerate(configs):
+                keys[i] = self.cache.key(config)
+                summaries[i] = self.cache.get(keys[i])
+                if summaries[i] is None:
+                    miss_indices.append(i)
+        else:
+            miss_indices = list(range(len(configs)))
+
+        if miss_indices:
+            miss_configs = [configs[i] for i in miss_indices]
+            if self.workers <= 1 or len(miss_configs) <= 1:
+                fresh = self._run_serial(miss_configs)
+            else:
+                fresh = self._run_pool(miss_configs)
+            for i, summary in zip(miss_indices, fresh):
+                summaries[i] = summary
+                if self.cache is not None and keys[i] is not None:
+                    self.cache.put(keys[i], summary)
+
+        assert all(s is not None for s in summaries)
+        return summaries  # type: ignore[return-value]

@@ -4,15 +4,24 @@ The paper reports results with "standard deviation ... less than 4%";
 each point is therefore an average over several seeds.
 :func:`run_replicated` runs one configuration over N seeds and
 aggregates; :func:`sweep` maps that over a parameter list.
+
+Both route through :class:`~repro.experiments.parallel.ParallelRunner`:
+pass ``workers=N`` to fan the seeds out over a process pool and an
+optional :class:`~repro.experiments.cache.ResultCache` to skip points
+that were already simulated under the current code version.  The
+aggregates are bit-identical whichever path executes them — same
+seeds, same per-seed metrics, same reduction order.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, replace
-from typing import Callable, Dict, Iterable, List, Sequence, TypeVar
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, TypeVar
 
-from repro.experiments.topology import ScenarioConfig, ScenarioResult, run_scenario
+from repro.experiments.cache import ResultCache
+from repro.experiments.parallel import ParallelRunner, RunSummary
+from repro.experiments.topology import ScenarioConfig
 
 T = TypeVar("T")
 
@@ -95,46 +104,65 @@ def _std(values: Sequence[float]) -> float:
     return math.sqrt(sum((v - mean) ** 2 for v in values) / (len(values) - 1))
 
 
+def _seeded_configs(
+    config: ScenarioConfig, replications: int, base_seed: int
+) -> List[ScenarioConfig]:
+    """The per-seed work units behind one replicated point."""
+    return [
+        replace(config, seed=base_seed + i, record_trace=False)
+        for i in range(replications)
+    ]
+
+
+def _aggregate(
+    config: ScenarioConfig, summaries: Sequence[RunSummary]
+) -> ReplicatedResult:
+    """Reduce per-seed summaries to one :class:`ReplicatedResult`."""
+    for summary in summaries:
+        if not summary.completed:
+            raise RuntimeError(
+                f"run with seed {summary.config.seed} did not complete within "
+                f"{summary.config.max_sim_time} simulated seconds "
+                f"(scheme={summary.config.scheme.value}, "
+                f"packet={summary.config.tcp.packet_size})"
+            )
+    throughputs = [r.metrics.throughput_bps for r in summaries]
+    return ReplicatedResult(
+        config=config,
+        replications=len(summaries),
+        throughput_bps_mean=_mean(throughputs),
+        throughput_bps_std=_std(throughputs),
+        goodput_mean=_mean([r.metrics.goodput for r in summaries]),
+        retransmitted_kbytes_mean=_mean(
+            [r.metrics.retransmitted_kbytes for r in summaries]
+        ),
+        timeouts_mean=_mean([float(r.metrics.timeouts) for r in summaries]),
+        duration_mean=_mean([r.metrics.duration for r in summaries]),
+        tput_th_bps=summaries[0].tput_th_bps,
+        results=tuple(summaries),
+    )
+
+
 def run_replicated(
     config: ScenarioConfig,
     replications: int = 5,
     base_seed: int = 1,
+    workers: Optional[int] = 1,
+    cache: Optional[ResultCache] = None,
 ) -> ReplicatedResult:
     """Run ``config`` over ``replications`` seeds and aggregate.
 
     Seeds are ``base_seed + i``; each run gets fully independent
     channel/backoff randomness via the seed-derived substreams.
+    ``workers > 1`` fans the seeds over a process pool (``0`` = one
+    per CPU); ``cache`` skips seeds already simulated under the
+    current code version.  Aggregates are identical either way.
     """
     if replications < 1:
         raise ValueError(f"replications must be >= 1, got {replications}")
-    results: List[ScenarioResult] = []
-    for i in range(replications):
-        run_config = replace(config, seed=base_seed + i, record_trace=False)
-        result = run_scenario(run_config)
-        if not result.completed:
-            raise RuntimeError(
-                f"run with seed {base_seed + i} did not complete within "
-                f"{run_config.max_sim_time} simulated seconds "
-                f"(scheme={run_config.scheme.value}, "
-                f"packet={run_config.tcp.packet_size})"
-            )
-        results.append(result)
-
-    throughputs = [r.metrics.throughput_bps for r in results]
-    return ReplicatedResult(
-        config=config,
-        replications=replications,
-        throughput_bps_mean=_mean(throughputs),
-        throughput_bps_std=_std(throughputs),
-        goodput_mean=_mean([r.metrics.goodput for r in results]),
-        retransmitted_kbytes_mean=_mean(
-            [r.metrics.retransmitted_kbytes for r in results]
-        ),
-        timeouts_mean=_mean([float(r.metrics.timeouts) for r in results]),
-        duration_mean=_mean([r.metrics.duration for r in results]),
-        tput_th_bps=results[0].tput_th_bps,
-        results=tuple(results),
-    )
+    runner = ParallelRunner(workers=workers, cache=cache)
+    summaries = runner.run(_seeded_configs(config, replications, base_seed))
+    return _aggregate(config, summaries)
 
 
 def sweep(
@@ -142,8 +170,16 @@ def sweep(
     make_config: Callable[[T], ScenarioConfig],
     replications: int = 5,
     base_seed: int = 1,
+    workers: Optional[int] = 1,
+    cache: Optional[ResultCache] = None,
 ) -> Dict[T, ReplicatedResult]:
     """Run a replicated experiment for every value of a swept parameter.
+
+    Points appear in the returned dict in input order, and duplicate
+    sweep values are an error (they would silently alias one dict
+    entry).  The whole sweep — every ``(value, seed)`` pair — is
+    flattened into one batch for the parallel engine, so ``workers=N``
+    parallelizes across points as well as seeds.
 
     >>> from repro.experiments.config import wan_scenario
     >>> points = sweep(
@@ -154,7 +190,23 @@ def sweep(
     >>> 576 in points
     True
     """
-    return {
-        value: run_replicated(make_config(value), replications, base_seed)
-        for value in values
-    }
+    value_list = list(values)
+    seen: set = set()
+    for value in value_list:
+        if value in seen:
+            raise ValueError(
+                f"duplicate sweep value {value!r}: each swept value must be "
+                f"unique (duplicates would silently overwrite each other)"
+            )
+        seen.add(value)
+    configs = [make_config(value) for value in value_list]
+    units: List[ScenarioConfig] = []
+    for config in configs:
+        units.extend(_seeded_configs(config, replications, base_seed))
+    runner = ParallelRunner(workers=workers, cache=cache)
+    summaries = runner.run(units)
+    points: Dict[T, ReplicatedResult] = {}
+    for i, (value, config) in enumerate(zip(value_list, configs)):
+        chunk = summaries[i * replications : (i + 1) * replications]
+        points[value] = _aggregate(config, chunk)
+    return points

@@ -197,3 +197,64 @@ class TestPropertyBased:
         sim.run()
         expected = sorted(d for (d, c) in spec if not c)
         assert fired == expected
+
+
+class TestHeapCompaction:
+    def test_pending_count_is_live_count(self, sim):
+        events = [sim.schedule(float(i + 1), lambda: None) for i in range(10)]
+        for event in events[:4]:
+            event.cancel()
+        assert sim.pending_count() == 6
+
+    def test_mass_cancellation_compacts_heap(self, sim):
+        events = [sim.schedule(float(i + 1), lambda: None) for i in range(1000)]
+        for event in events[:900]:
+            event.cancel()
+        # Dead entries outnumbered live ones at some point, so the heap
+        # was rebuilt and holds only survivors (plus whatever was
+        # cancelled after the last rebuild).
+        assert sim.heap_compactions >= 1
+        assert len(sim._heap) < 250
+        assert sim.pending_count() == 100
+
+    def test_compaction_preserves_execution_order(self, sim):
+        fired = []
+        events = [
+            sim.schedule(float(i % 13) + 1.0, fired.append, i) for i in range(500)
+        ]
+        cancelled = set()
+        for i, event in enumerate(events):
+            if i % 3 != 0:
+                event.cancel()
+                cancelled.add(i)
+        sim.run()
+        expected = sorted(
+            (i for i in range(500) if i not in cancelled),
+            key=lambda i: (float(i % 13) + 1.0, i),
+        )
+        assert fired == expected
+
+    def test_cancel_after_execution_keeps_count_exact(self, sim):
+        event = sim.schedule(1.0, lambda: None)
+        sim.run()
+        event.cancel()  # executed; must not corrupt the live count
+        assert sim.pending_count() == 0
+        survivor = sim.schedule(1.0, lambda: None)
+        assert sim.pending_count() == 1
+        survivor.cancel()
+        assert sim.pending_count() == 0
+
+    def test_peek_keeps_count_exact(self, sim):
+        first = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        first.cancel()
+        assert sim.peek() == 2.0  # pops the cancelled head
+        assert sim.pending_count() == 1
+
+    def test_below_min_heap_no_compaction(self, sim):
+        events = [sim.schedule(float(i + 1), lambda: None) for i in range(10)]
+        for event in events:
+            event.cancel()
+        assert sim.heap_compactions == 0
+        sim.run()
+        assert sim.events_executed == 0

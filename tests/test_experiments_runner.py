@@ -115,3 +115,32 @@ class TestConfidenceIntervals:
         assert basic.throughput_differs_from(ebsn)
         # A distribution does not differ from itself.
         assert not basic.throughput_differs_from(basic)
+
+
+class TestSweepOrderAndDuplicates:
+    def test_preserves_input_order(self):
+        points = sweep(
+            [1536, 256, 576],
+            lambda size: wan_scenario(packet_size=size, transfer_bytes=TINY),
+            replications=1,
+        )
+        assert list(points) == [1536, 256, 576]
+
+    def test_duplicate_value_raises(self):
+        with pytest.raises(ValueError, match="duplicate sweep value"):
+            sweep(
+                [256, 576, 256],
+                lambda size: wan_scenario(packet_size=size, transfer_bytes=TINY),
+                replications=1,
+            )
+
+    def test_matches_individual_run_replicated(self):
+        """The flattened batch must aggregate exactly like point-by-point."""
+        make = lambda size: wan_scenario(packet_size=size, transfer_bytes=TINY)
+        points = sweep([256, 576], make, replications=2, base_seed=4)
+        for size in (256, 576):
+            direct = run_replicated(make(size), replications=2, base_seed=4)
+            assert (
+                points[size].throughput_bps_mean == direct.throughput_bps_mean
+            )
+            assert points[size].throughput_bps_std == direct.throughput_bps_std
