@@ -37,6 +37,17 @@ WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
 STRICT = SCALE >= 0.8
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _no_validation():
+    """Benchmarks measure the simulator, not the invariant engine."""
+    from repro.validate.engine import set_default_validation, validation_default
+
+    previous = validation_default()
+    set_default_validation(False)
+    yield
+    set_default_validation(previous)
+
+
 @pytest.fixture(scope="session")
 def out_dir() -> Path:
     OUT_DIR.mkdir(exist_ok=True)

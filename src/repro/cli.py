@@ -10,7 +10,12 @@ Commands:
 * ``handoff``— the two-cell handoff study.
 * ``congestion`` — the wired-congestion / ECN / EBSN interaction.
 * ``validate`` — run every claim check and print a ✓/✗ report.
+* ``replay`` — re-run a recorded invariant-violation bundle.
 * ``report`` — assemble benchmarks/out/*.txt into one REPORT.md.
+
+Simulation commands accept ``--validate`` to attach the runtime
+invariant engine (:mod:`repro.validate`); a violation aborts the
+command with exit code 3 and prints the replay-bundle path.
 """
 
 from __future__ import annotations
@@ -76,6 +81,19 @@ def _engine_cache(args: argparse.Namespace) -> Optional[ResultCache]:
     return None if args.no_cache else ResultCache()
 
 
+def _add_validate(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--validate",
+        action="store_true",
+        help="attach the runtime invariant engine to every simulated run",
+    )
+
+
+def _single_run_validate(args: argparse.Namespace) -> Optional[bool]:
+    """``run_scenario``'s validate arg: explicit on, else process default."""
+    return True if args.validate else None
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     scheme = SCHEMES[args.scheme]
     if args.lan:
@@ -93,7 +111,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             transfer_bytes=args.transfer_kb * 1024,
             seed=args.seed,
         )
-    result = run_scenario(config)
+    result = run_scenario(config, validate=_single_run_validate(args))
     m = result.metrics
     unit = "Mbps" if args.lan else "kbps"
     tput = m.throughput_bps / (1e6 if args.lan else 1e3)
@@ -110,7 +128,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
-    result = run_scenario(trace_example_scenario(SCHEMES[args.scheme]))
+    result = run_scenario(
+        trace_example_scenario(SCHEMES[args.scheme]),
+        validate=_single_run_validate(args),
+    )
     m = result.metrics
     print(
         f"{args.scheme}: {m.throughput_kbps:.2f} kbps, goodput "
@@ -137,6 +158,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 base_seed=args.seed,
                 workers=args.workers,
                 cache=cache,
+                validate=args.validate,
             )
             rows.append(
                 [
@@ -168,6 +190,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 base_seed=args.seed,
                 workers=args.workers,
                 cache=cache,
+                validate=args.validate,
             )
             rows.append(
                 [
@@ -194,9 +217,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 def _cmd_figure(args: argparse.Namespace) -> int:
     n = args.number
     reps = args.replications
-    engine = dict(workers=args.workers, cache=_engine_cache(args))
+    engine = dict(
+        workers=args.workers, cache=_engine_cache(args), validate=args.validate
+    )
     if n in (3, 4, 5):
-        result = trace_figure(n)
+        result = trace_figure(n, validate=_single_run_validate(args))
         print(result.trace.render(width=100, t_max=60.0, title=f"Figure {n}"))
         return 0
     if n == 7 or n == 8:
@@ -383,6 +408,37 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0 if failures == 0 else 1
 
 
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro.validate.bundle import load_bundle, replay_bundle
+
+    try:
+        bundle = load_bundle(args.bundle)
+    except (OSError, ValueError) as err:
+        print(f"cannot load bundle {args.bundle}: {err}", file=sys.stderr)
+        return 2
+    print(f"bundle    : {args.bundle}")
+    print(f"captured  : {len(bundle.violations)} violation(s), "
+          f"seed {bundle.config.seed}, scheme {bundle.config.scheme.value}")
+    for violation in bundle.violations:
+        print(f"  - {violation.describe()}")
+    outcome = replay_bundle(args.bundle)
+    if not outcome.code_matches:
+        print("note      : code has changed since capture "
+              "(digest mismatch); replay may diverge")
+    if outcome.reproduced:
+        print(f"replayed  : REPRODUCED — {len(outcome.violations)} violation(s)")
+        for violation in outcome.violations:
+            print(f"  - {violation.describe()}")
+        return 0
+    if outcome.violations:
+        print(f"replayed  : DIFFERENT violations ({len(outcome.violations)}):")
+        for violation in outcome.violations:
+            print(f"  - {violation.describe()}")
+    else:
+        print("replayed  : no violation reproduced (run was clean)")
+    return 1
+
+
 #: Display order for the assembled report: paper figures first, then
 #: the negative results, then the extension studies and ablations.
 _REPORT_ORDER = [
@@ -458,12 +514,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--packet-size", type=int, default=576)
     p.add_argument("--bad-period", type=float, default=1.0)
     p.add_argument("--transfer-kb", type=int, default=100)
+    _add_validate(p)
     p.set_defaults(func=_cmd_run)
 
     p = sub.add_parser("trace", help="render a Figs 3-5 style trace")
     _add_common(p)
     p.add_argument("--width", type=int, default=100)
     p.add_argument("--t-max", type=float, default=60.0)
+    _add_validate(p)
     p.set_defaults(func=_cmd_trace)
 
     p = sub.add_parser("sweep", help="packet-size (WAN) or bad-period (LAN) sweep")
@@ -473,12 +531,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--transfer-kb", type=int, default=100)
     p.add_argument("--replications", type=int, default=5)
     _add_engine(p)
+    _add_validate(p)
     p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser("figure", help="regenerate a paper figure's series")
     p.add_argument("number", type=int, help="figure number (3-5, 7-11)")
     p.add_argument("--replications", type=int, default=5)
     _add_engine(p)
+    _add_validate(p)
     p.set_defaults(func=_cmd_figure)
 
     p = sub.add_parser("csdp", help="multi-connection scheduling study")
@@ -504,6 +564,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seeds", type=int, default=3)
     p.set_defaults(func=_cmd_validate)
 
+    p = sub.add_parser(
+        "replay", help="re-run a recorded invariant-violation bundle"
+    )
+    p.add_argument("bundle", help="path to a violation-*.json replay bundle")
+    p.set_defaults(func=_cmd_replay)
+
     p = sub.add_parser("report", help="assemble benchmark outputs into REPORT.md")
     p.add_argument("--out-dir", default="benchmarks/out")
     p.add_argument("--output", default="REPORT.md")
@@ -514,8 +580,22 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
+    from repro.validate.engine import InvariantViolationError
+
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except InvariantViolationError as err:
+        print(f"invariant violation: {err}", file=sys.stderr)
+        for violation in err.violations:
+            print(f"  - {violation.describe()}", file=sys.stderr)
+        if err.bundle_path:
+            print(
+                f"replay bundle written: {err.bundle_path}\n"
+                f"reproduce with: python -m repro replay {err.bundle_path}",
+                file=sys.stderr,
+            )
+        return 3
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -37,23 +37,40 @@ CACHE_FORMAT = 1
 _code_version_token: Optional[str] = None
 
 
-def code_version_token() -> str:
+def source_files(package_root: Path) -> list:
+    """Every ``.py`` file under ``package_root``, in digest order.
+
+    Exposed so tests can assert which files participate in the code
+    fingerprint (e.g. that ``validate/`` edits invalidate the cache).
+    """
+    return sorted(package_root.rglob("*.py"))
+
+
+def _hash_tree(package_root: Path) -> str:
+    digest = hashlib.sha256()
+    for source in source_files(package_root):
+        digest.update(str(source.relative_to(package_root)).encode())
+        digest.update(b"\0")
+        digest.update(source.read_bytes())
+    return digest.hexdigest()[:16]
+
+
+def code_version_token(package_root: Optional[Path] = None) -> str:
     """Hash of every ``repro`` source file (the cache's code fingerprint).
 
-    Computed once per process.  ~60 small files, so this costs a few
-    milliseconds on first use — noise next to a single simulated run.
+    With no argument, hashes the installed ``repro`` package and caches
+    the result for the process (~60 small files, a few milliseconds on
+    first use — noise next to a single simulated run).  An explicit
+    ``package_root`` is hashed fresh every call; tests use this to
+    check invalidation behaviour against a scratch tree.
     """
+    if package_root is not None:
+        return _hash_tree(Path(package_root))
     global _code_version_token
     if _code_version_token is None:
         import repro
 
-        package_root = Path(repro.__file__).resolve().parent
-        digest = hashlib.sha256()
-        for source in sorted(package_root.rglob("*.py")):
-            digest.update(str(source.relative_to(package_root)).encode())
-            digest.update(b"\0")
-            digest.update(source.read_bytes())
-        _code_version_token = digest.hexdigest()[:16]
+        _code_version_token = _hash_tree(Path(repro.__file__).resolve().parent)
     return _code_version_token
 
 

@@ -58,12 +58,14 @@ _TRACE_SCHEMES = {
 }
 
 
-def trace_figure(figure_number: int) -> ScenarioResult:
+def trace_figure(
+    figure_number: int, validate: Optional[bool] = None
+) -> ScenarioResult:
     """Run the §4.2.1 example for Fig 3 (basic), 4 (local), or 5 (EBSN)."""
     if figure_number not in _TRACE_SCHEMES:
         raise ValueError(f"trace figures are 3, 4, 5; got {figure_number}")
     config = trace_example_scenario(_TRACE_SCHEMES[figure_number])
-    return run_scenario(config)
+    return run_scenario(config, validate=validate)
 
 
 # ---------------------------------------------------------------------------
@@ -79,6 +81,7 @@ def _wan_packet_sweep(
     transfer_bytes: int,
     workers: Optional[int] = 1,
     cache: Optional[ResultCache] = None,
+    validate: bool = False,
 ) -> Dict[float, SweepSeries]:
     series: Dict[float, SweepSeries] = {}
     for bad in bad_periods:
@@ -92,7 +95,8 @@ def _wan_packet_sweep(
                 record_trace=False,
             )
             curve.points[size] = run_replicated(
-                config, replications, workers=workers, cache=cache
+                config, replications, workers=workers, cache=cache,
+                validate=validate,
             )
         series[bad] = curve
     return series
@@ -105,6 +109,7 @@ def figure_7(
     transfer_bytes: int = WAN_TRANSFER_BYTES,
     workers: Optional[int] = 1,
     cache: Optional[ResultCache] = None,
+    validate: bool = False,
 ) -> Dict[float, SweepSeries]:
     """Fig 7: basic TCP throughput vs packet size, one curve per bad period."""
     return _wan_packet_sweep(
@@ -115,6 +120,7 @@ def figure_7(
         transfer_bytes,
         workers=workers,
         cache=cache,
+        validate=validate,
     )
 
 
@@ -125,6 +131,7 @@ def figure_8(
     transfer_bytes: int = WAN_TRANSFER_BYTES,
     workers: Optional[int] = 1,
     cache: Optional[ResultCache] = None,
+    validate: bool = False,
 ) -> Dict[float, SweepSeries]:
     """Fig 8: EBSN throughput vs packet size, one curve per bad period."""
     return _wan_packet_sweep(
@@ -135,6 +142,7 @@ def figure_8(
         transfer_bytes,
         workers=workers,
         cache=cache,
+        validate=validate,
     )
 
 
@@ -145,6 +153,7 @@ def figure_9(
     transfer_bytes: int = WAN_TRANSFER_BYTES,
     workers: Optional[int] = 1,
     cache: Optional[ResultCache] = None,
+    validate: bool = False,
 ) -> Dict[str, Dict[float, SweepSeries]]:
     """Fig 9: data retransmitted vs packet size — basic TCP vs EBSN."""
     return {
@@ -156,6 +165,7 @@ def figure_9(
             transfer_bytes,
             workers=workers,
             cache=cache,
+            validate=validate,
         ),
         "ebsn": _wan_packet_sweep(
             Scheme.EBSN,
@@ -165,6 +175,7 @@ def figure_9(
             transfer_bytes,
             workers=workers,
             cache=cache,
+            validate=validate,
         ),
     }
 
@@ -188,6 +199,7 @@ def _lan_bad_sweep(
     transfer_bytes: int,
     workers: Optional[int] = 1,
     cache: Optional[ResultCache] = None,
+    validate: bool = False,
 ) -> SweepSeries:
     curve = SweepSeries(label=scheme.value)
     for bad in bad_periods:
@@ -195,7 +207,8 @@ def _lan_bad_sweep(
             scheme=scheme, bad_period_mean=bad, transfer_bytes=transfer_bytes
         )
         curve.points[bad] = run_replicated(
-            config, replications, workers=workers, cache=cache
+            config, replications, workers=workers, cache=cache,
+            validate=validate,
         )
     return curve
 
@@ -206,17 +219,18 @@ def figure_10(
     transfer_bytes: int = LAN_TRANSFER_BYTES,
     workers: Optional[int] = 1,
     cache: Optional[ResultCache] = None,
+    validate: bool = False,
 ) -> Dict[str, SweepSeries]:
     """Fig 10: LAN throughput vs bad period — basic vs EBSN (+ tput_th)."""
     bads = bad_periods or LAN_BAD_PERIODS
     return {
         "basic": _lan_bad_sweep(
             Scheme.BASIC, bads, replications, transfer_bytes,
-            workers=workers, cache=cache,
+            workers=workers, cache=cache, validate=validate,
         ),
         "ebsn": _lan_bad_sweep(
             Scheme.EBSN, bads, replications, transfer_bytes,
-            workers=workers, cache=cache,
+            workers=workers, cache=cache, validate=validate,
         ),
     }
 
@@ -227,10 +241,12 @@ def figure_11(
     transfer_bytes: int = LAN_TRANSFER_BYTES,
     workers: Optional[int] = 1,
     cache: Optional[ResultCache] = None,
+    validate: bool = False,
 ) -> Dict[str, SweepSeries]:
     """Fig 11: LAN data retransmitted vs bad period — basic vs EBSN."""
     return figure_10(
-        replications, bad_periods, transfer_bytes, workers=workers, cache=cache
+        replications, bad_periods, transfer_bytes, workers=workers, cache=cache,
+        validate=validate,
     )
 
 

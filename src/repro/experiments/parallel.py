@@ -72,6 +72,16 @@ def _execute_unit(config: ScenarioConfig) -> RunSummary:
     return summarize(topology.run_scenario(config))
 
 
+def _execute_unit_validated(config: ScenarioConfig) -> RunSummary:
+    """Worker entry point with the invariant engine attached.
+
+    A violation raises :class:`~repro.validate.InvariantViolationError`
+    in the worker; the error (with its replay-bundle path) pickles
+    back through the pool and aborts the batch.
+    """
+    return summarize(topology.run_scenario(config, validate=True))
+
+
 def resolve_workers(workers: Optional[int]) -> int:
     """Normalize a worker-count request.
 
@@ -109,6 +119,10 @@ class ParallelRunner:
     chunk_size:
         Work units per pool task.  Default: enough to give each worker
         ~4 chunks, which amortizes pickling without starving the tail.
+    validate:
+        Run every simulated unit under the invariant engine
+        (:mod:`repro.validate`).  Cache hits skip simulation and are
+        therefore not re-validated.
     """
 
     def __init__(
@@ -116,13 +130,19 @@ class ParallelRunner:
         workers: Optional[int] = 1,
         cache: Optional[ResultCache] = None,
         chunk_size: Optional[int] = None,
+        validate: bool = False,
     ) -> None:
         self.workers = resolve_workers(workers)
         self.cache = cache
         self.chunk_size = chunk_size
+        self.validate = validate
+
+    @property
+    def _unit(self):
+        return _execute_unit_validated if self.validate else _execute_unit
 
     def _run_serial(self, configs: Sequence[ScenarioConfig]) -> List[RunSummary]:
-        return [_execute_unit(config) for config in configs]
+        return [self._unit(config) for config in configs]
 
     def _run_pool(self, configs: Sequence[ScenarioConfig]) -> List[RunSummary]:
         context = _fork_context()
@@ -133,7 +153,7 @@ class ParallelRunner:
         if chunk is None:
             chunk = max(1, len(configs) // (workers * 4))
         with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
-            return list(pool.map(_execute_unit, configs, chunksize=chunk))
+            return list(pool.map(self._unit, configs, chunksize=chunk))
 
     def run(self, configs: Sequence[ScenarioConfig]) -> List[RunSummary]:
         """Run every config, in input order, via cache then pool.

@@ -149,6 +149,7 @@ def run_replicated(
     base_seed: int = 1,
     workers: Optional[int] = 1,
     cache: Optional[ResultCache] = None,
+    validate: bool = False,
 ) -> ReplicatedResult:
     """Run ``config`` over ``replications`` seeds and aggregate.
 
@@ -157,10 +158,12 @@ def run_replicated(
     ``workers > 1`` fans the seeds over a process pool (``0`` = one
     per CPU); ``cache`` skips seeds already simulated under the
     current code version.  Aggregates are identical either way.
+    ``validate=True`` attaches the invariant engine to every simulated
+    seed (cache hits skip simulation and are not re-validated).
     """
     if replications < 1:
         raise ValueError(f"replications must be >= 1, got {replications}")
-    runner = ParallelRunner(workers=workers, cache=cache)
+    runner = ParallelRunner(workers=workers, cache=cache, validate=validate)
     summaries = runner.run(_seeded_configs(config, replications, base_seed))
     return _aggregate(config, summaries)
 
@@ -172,6 +175,7 @@ def sweep(
     base_seed: int = 1,
     workers: Optional[int] = 1,
     cache: Optional[ResultCache] = None,
+    validate: bool = False,
 ) -> Dict[T, ReplicatedResult]:
     """Run a replicated experiment for every value of a swept parameter.
 
@@ -203,7 +207,7 @@ def sweep(
     units: List[ScenarioConfig] = []
     for config in configs:
         units.extend(_seeded_configs(config, replications, base_seed))
-    runner = ParallelRunner(workers=workers, cache=cache)
+    runner = ParallelRunner(workers=workers, cache=cache, validate=validate)
     summaries = runner.run(units)
     points: Dict[T, ReplicatedResult] = {}
     for i, (value, config) in enumerate(zip(value_list, configs)):

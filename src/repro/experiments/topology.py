@@ -409,9 +409,33 @@ class Scenario:
         )
 
 
-def run_scenario(config: ScenarioConfig) -> ScenarioResult:
-    """Build and run one scenario (convenience wrapper)."""
-    return Scenario(config).run()
+def run_scenario(
+    config: ScenarioConfig,
+    validate: "Optional[bool]" = None,
+    bundle_dir=None,
+) -> ScenarioResult:
+    """Build and run one scenario (convenience wrapper).
+
+    ``validate=True`` runs under the invariant engine
+    (:mod:`repro.validate`): conservation, TCP state legality, ARQ
+    attempt bounds, EBSN's no-window-action contract, and timer sanity
+    are checked online, and a violation aborts the run with a replay
+    bundle written to ``bundle_dir`` (default: the bundle directory;
+    ``False`` suppresses the bundle).  ``validate=None`` consults the
+    process default — off, unless the test suite or ``REPRO_VALIDATE``
+    turned it on.  Checkers are pure observers, so validated runs are
+    bit-identical to unvalidated ones.
+    """
+    # Imported lazily: repro.validate pulls in the bundle/cache layers,
+    # which this module's import-time dependencies must not require.
+    from repro.validate.engine import run_validated, validation_default
+
+    if validate is None:
+        validate = validation_default()
+    scenario = Scenario(config)
+    if not validate:
+        return scenario.run()
+    return run_validated(scenario, bundle_dir=bundle_dir)
 
 
 def with_scheme(config: ScenarioConfig, scheme: Scheme) -> ScenarioConfig:

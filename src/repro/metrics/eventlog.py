@@ -24,6 +24,16 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, TextIO, Tuple
 
 
+class TraceParseError(ValueError):
+    """A line that does not parse as the whitespace trace format.
+
+    Raised instead of the bare ``ValueError`` that ``float()``/``int()``
+    would produce, so callers (and humans reading a traceback) see the
+    offending line and field rather than just ``could not convert
+    string to float``.
+    """
+
+
 class EventType(enum.Enum):
     """What happened to a packet or frame."""
 
@@ -57,14 +67,37 @@ class Event:
     def from_line(cls, line: str) -> "Event":
         parts = line.split()
         if len(parts) != 6:
-            raise ValueError(f"malformed trace line: {line!r}")
+            raise TraceParseError(
+                f"malformed trace line (expected 6 whitespace-separated "
+                f"fields, got {len(parts)}): {line!r}"
+            )
+        try:
+            time = float(parts[0])
+        except ValueError:
+            raise TraceParseError(
+                f"bad time field {parts[0]!r} in trace line: {line!r}"
+            ) from None
+        try:
+            event = EventType(parts[1])
+        except ValueError:
+            raise TraceParseError(
+                f"unknown event type {parts[1]!r} in trace line: {line!r} "
+                f"(know {sorted(e.value for e in EventType)})"
+            ) from None
+        try:
+            size_bytes = int(parts[4])
+            uid = int(parts[5])
+        except ValueError:
+            raise TraceParseError(
+                f"bad size/uid field in trace line: {line!r}"
+            ) from None
         return cls(
-            time=float(parts[0]),
-            event=EventType(parts[1]),
+            time=time,
+            event=event,
             place=parts[2],
             kind=parts[3],
-            size_bytes=int(parts[4]),
-            uid=int(parts[5]),
+            size_bytes=size_bytes,
+            uid=uid,
         )
 
 
@@ -103,11 +136,20 @@ class EventLog:
 
     @classmethod
     def read(cls, fp: TextIO) -> "EventLog":
+        """Parse a whitespace-format trace; blank lines are skipped.
+
+        Raises :class:`TraceParseError` (with the 1-based line number)
+        on the first malformed line.
+        """
         log = cls()
-        for line in fp:
+        for lineno, line in enumerate(fp, start=1):
             line = line.strip()
-            if line:
+            if not line:
+                continue
+            try:
                 log.events.append(Event.from_line(line))
+            except TraceParseError as err:
+                raise TraceParseError(f"line {lineno}: {err}") from None
         return log
 
 

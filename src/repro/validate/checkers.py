@@ -1,0 +1,304 @@
+"""The concrete invariant checkers.
+
+Each checker guards one class of protocol property the paper's claims
+rest on:
+
+* :class:`TimerSanityChecker` — engine: no cancelled event ever fires,
+  and fire times never move backwards (simulator event dispatch).
+* :class:`TcpStateChecker` — transport: sequence monotonicity and
+  cwnd/ssthresh legality under the Tahoe/Reno/NewReno state machines.
+* :class:`ArqBoundChecker` — link layer: no frame is ever transmitted
+  more than RTmax times (the paper's CDPD bound, 13).
+* :class:`EbsnWindowChecker` — the paper's core contract: EBSN re-arms
+  the retransmission timer and does *nothing else*; any window action
+  from the EBSN handler is a violation.
+* :class:`DeliveryChecker` — receive path: nothing is delivered after
+  the connection completed (no delivery after FIN) and the sink never
+  holds more in-order payload than the source has produced.
+* :class:`ConservationChecker` — end of run: every transferred byte
+  was delivered exactly once, and the accounting counters agree.
+
+All checkers are pure observers: they wrap existing callbacks, draw no
+randomness, and schedule nothing, so validated runs are bit-identical
+to unvalidated ones.
+"""
+
+from __future__ import annotations
+
+from repro.net.packet import IcmpMessage, IcmpType
+from repro.validate.engine import InvariantChecker
+
+#: Slack for float comparisons on cwnd/ssthresh (segments).
+_EPS = 1e-9
+
+
+class TimerSanityChecker(InvariantChecker):
+    """No firing of cancelled events; fire times never go backwards.
+
+    Wraps ``Simulator.schedule_at`` (which ``schedule`` and every
+    ``Timer`` route through) so each scheduled callback verifies, at
+    fire time, that its event is live and that simulated time is
+    consistent.  A lazy-deletion or heap-compaction bug in the engine
+    surfaces here instead of as a mystery retransmission.
+    """
+
+    name = "timer-sanity"
+
+    def attach(self, scenario, report) -> None:
+        """Wrap ``schedule_at`` so every callback self-checks at fire time."""
+        sim = scenario.sim
+        original_schedule_at = sim.schedule_at
+        state = {"last_fired": sim.now}
+
+        def schedule_at(time, callback, *args):
+            event = original_schedule_at(time, callback, *args)
+            inner = event.callback
+
+            def checked(*callback_args):
+                if event.cancelled:
+                    report(f"cancelled event fired (t={event.time:.6f})")
+                if event.time < state["last_fired"] - _EPS:
+                    report(
+                        f"event fired out of order: t={event.time:.6f} after "
+                        f"t={state['last_fired']:.6f}"
+                    )
+                if abs(sim.now - event.time) > _EPS:
+                    report(
+                        f"clock desync: now={sim.now:.6f} but event scheduled "
+                        f"for t={event.time:.6f}"
+                    )
+                state["last_fired"] = event.time
+                inner(*callback_args)
+
+            event.callback = checked
+            return event
+
+        sim.schedule_at = schedule_at
+
+
+class TcpStateChecker(InvariantChecker):
+    """Sequence monotonicity and window legality at the TCP source.
+
+    After every datagram the source processes: ``snd_una`` never moves
+    backwards, ``snd_una <= snd_nxt``, ``cwnd >= 1``, ``ssthresh >= 2``,
+    and cwnd grows by at most ``dupack_threshold + 1`` segments per
+    event (the largest single-step growth any of Tahoe/Reno/NewReno
+    permits — slow start adds 1, Reno's fast retransmit sets
+    ``cwnd = ssthresh + 3``).  A timeout must collapse cwnd to 1
+    (all three variants revert to slow start on timeout).
+    """
+
+    name = "tcp-state"
+
+    def attach(self, scenario, report) -> None:
+        """Wrap the source's receive path and retransmission timer."""
+        sender = scenario.sender
+        config = sender.config
+        max_growth = config.dupack_threshold + 1 + _EPS
+        original_receive = sender.receive
+
+        def receive(datagram):
+            una_before = sender.snd_una
+            cwnd_before = sender.cwnd
+            original_receive(datagram)
+            if sender.snd_una < una_before:
+                report(
+                    f"snd_una moved backwards: {una_before} -> {sender.snd_una}"
+                )
+            if sender.snd_nxt < sender.snd_una:
+                report(
+                    f"snd_nxt {sender.snd_nxt} fell below snd_una {sender.snd_una}"
+                )
+            if sender.cwnd < 1.0 - _EPS:
+                report(f"cwnd fell below one segment: {sender.cwnd:.6f}")
+            if sender.ssthresh < 2.0 - _EPS:
+                report(f"ssthresh fell below two segments: {sender.ssthresh:.6f}")
+            growth = sender.cwnd - cwnd_before
+            if growth > max_growth:
+                report(
+                    f"cwnd grew by {growth:.3f} segments on one event "
+                    f"(legal maximum {config.dupack_threshold + 1})"
+                )
+
+        sender.receive = receive
+
+        # The rtx timer captured its callback at construction, so wrap
+        # the timer's callback rather than the (already-bound) method.
+        timer = sender.rtx_timer
+        inner_timeout = timer._callback
+
+        def on_timeout():
+            was_completed = sender.completed
+            inner_timeout()
+            if (
+                not was_completed
+                and not sender.completed
+                and abs(sender.cwnd - 1.0) > _EPS
+            ):
+                report(
+                    f"timeout did not collapse cwnd to 1 (cwnd={sender.cwnd:.6f})"
+                )
+
+        timer._callback = on_timeout
+
+
+class ArqBoundChecker(InvariantChecker):
+    """No link frame is transmitted more than RTmax times."""
+
+    name = "arq-rtmax"
+
+    def attach(self, scenario, report) -> None:
+        """Wrap both wireless ports' transmit path."""
+        for port in (scenario.bs_port, scenario.mh_port):
+            self._wrap(port, report)
+
+    @staticmethod
+    def _wrap(port, report) -> None:
+        rtmax = port.arq_config.rtmax
+        original_transmit = port._transmit
+
+        def transmit(entry):
+            original_transmit(entry)
+            if entry.attempts > rtmax:
+                report(
+                    f"{port.name}: frame uid={entry.frame.uid} reached "
+                    f"{entry.attempts} transmissions (RTmax={rtmax})"
+                )
+
+        port._transmit = transmit
+
+
+class EbsnWindowChecker(InvariantChecker):
+    """EBSN must never modify cwnd/ssthresh (the paper's Appendix).
+
+    The source's entire EBSN response is "re-arm the retransmission
+    timer at the current timeout"; any window action would change the
+    congestion behaviour the paper explicitly leaves untouched.
+    Source-quench messages *do* shrink the window, so only
+    ``IcmpType.EBSN`` deliveries are held to this contract.
+    """
+
+    name = "ebsn-no-window-action"
+
+    def attach(self, scenario, report) -> None:
+        """Wrap the source's ICMP handler with a window snapshot."""
+        sender = scenario.sender
+        original_handle = sender._handle_icmp
+
+        def handle_icmp(message: IcmpMessage):
+            window_before = (sender.cwnd, sender.ssthresh)
+            original_handle(message)
+            if (
+                message.icmp_type is IcmpType.EBSN
+                and (sender.cwnd, sender.ssthresh) != window_before
+            ):
+                report(
+                    f"EBSN handler modified the window: cwnd "
+                    f"{window_before[0]:.3f} -> {sender.cwnd:.3f}, ssthresh "
+                    f"{window_before[1]:.3f} -> {sender.ssthresh:.3f}"
+                )
+
+        sender._handle_icmp = handle_icmp
+
+
+class DeliveryChecker(InvariantChecker):
+    """No delivery after FIN; delivered bytes never exceed produced bytes.
+
+    Wraps the sink's in-order delivery path.  ``sender.transfer_bytes``
+    is read at check time, so stream-fed senders (the interactive
+    workload) are bounded by what the application has queued so far.
+    """
+
+    name = "delivery"
+
+    def attach(self, scenario, report) -> None:
+        """Wrap the sink's in-order delivery callback."""
+        sink = scenario.sink
+        sender = scenario.sender
+        original_deliver = sink._deliver
+        # Under SPLIT the source legitimately completes (relay ACKed
+        # everything) while the relay is still draining to the sink, so
+        # only the sink's own FIN bounds deliveries there.
+        watch_sender = scenario.split_relay is None
+
+        def deliver(payload_bytes):
+            if sink.completed or (watch_sender and sender.completed):
+                report(
+                    f"{payload_bytes} B delivered after the connection "
+                    f"completed (no delivery after FIN)"
+                )
+            original_deliver(payload_bytes)
+            ceiling = getattr(sender, "transfer_bytes", None)
+            if (
+                ceiling is not None
+                and sink.stats.useful_payload_bytes > ceiling
+            ):
+                report(
+                    f"sink delivered {sink.stats.useful_payload_bytes} B "
+                    f"in order but the source only produced {ceiling} B "
+                    f"(duplicate delivery)"
+                )
+
+        sink._deliver = deliver
+
+
+class ConservationChecker(InvariantChecker):
+    """End-of-run byte/packet conservation and counter consistency."""
+
+    name = "conservation"
+
+    def finalize(self, scenario, result, report) -> None:
+        """Check byte conservation and counter consistency at end of run."""
+        sender = scenario.sender
+        sink = scenario.sink
+        metrics = result.metrics
+
+        if result.completed:
+            expected = getattr(sender, "transfer_bytes", None)
+            delivered = sink.stats.useful_payload_bytes
+            if expected is not None and delivered != expected:
+                report(
+                    f"completed transfer delivered {delivered} B in order "
+                    f"but the source produced {expected} B"
+                )
+
+        if result.completed and metrics.goodput <= 0.0:
+            report("completed transfer reports zero goodput")
+
+        stats = sender.stats
+        if stats.retransmitted_bytes_wire > stats.bytes_sent_wire:
+            report(
+                f"retransmitted wire bytes ({stats.retransmitted_bytes_wire}) "
+                f"exceed total wire bytes ({stats.bytes_sent_wire})"
+            )
+        expected_retx = stats.segments_sent - sender.total_segments
+        if result.completed and stats.retransmissions != expected_retx:
+            report(
+                f"retransmission accounting broke: counter says "
+                f"{stats.retransmissions}, sends minus segments says "
+                f"{expected_retx}"
+            )
+        # The split relay re-segments onto the wireless hop with its
+        # own headers, so the source's wire bytes don't bound the
+        # sink's (and goodput — their ratio — can exceed 1); every
+        # other scheme forwards the source's packets unchanged.
+        if scenario.split_relay is None:
+            if metrics.goodput > 1.0 + _EPS:
+                report(f"goodput exceeds 1: {metrics.goodput:.6f}")
+            if metrics.useful_wire_bytes > metrics.bytes_sent_wire:
+                report(
+                    f"useful wire bytes ({metrics.useful_wire_bytes}) exceed "
+                    f"bytes the source sent ({metrics.bytes_sent_wire})"
+                )
+
+
+def default_checkers(scenario):
+    """The standard checker set for one scenario run."""
+    return [
+        TimerSanityChecker(),
+        TcpStateChecker(),
+        ArqBoundChecker(),
+        EbsnWindowChecker(),
+        DeliveryChecker(),
+        ConservationChecker(),
+    ]

@@ -1,0 +1,192 @@
+"""Runtime invariant-validation engine.
+
+The paper's claims are protocol invariants: EBSN never touches the
+congestion window, link-layer ARQ never exceeds its RTmax attempt
+budget, every transferred byte is delivered exactly once.  Fixed-
+parameter scenario tests assert these at a handful of points; this
+engine checks them *online*, on any run, by attaching observers to the
+existing hook surfaces (simulator event dispatch, TCP source
+callbacks, the wireless ports' ARQ machinery, the sink's delivery
+path).
+
+A :class:`Validator` wires a set of :class:`InvariantChecker` objects
+into a built-but-not-yet-run
+:class:`~repro.experiments.topology.Scenario`.  Checkers observe only
+— they never consume randomness or change timing, so a validated run
+is bit-identical to an unvalidated one.  On the first violation the
+run aborts with :class:`InvariantViolationError`;
+:func:`run_validated` then emits a *replay bundle* (see
+:mod:`repro.validate.bundle`) from which ``repro replay`` reproduces
+the failure deterministically.
+
+Validation is opt-in.  ``run_scenario(config, validate=True)`` turns
+it on for one run; :func:`set_default_validation` (used by the test
+suite's conftest) or ``REPRO_VALIDATE=1`` flips the process default.
+Benchmarks leave it off so perf numbers are unaffected.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One detected invariant violation (picklable, primitive fields)."""
+
+    checker: str
+    time: float
+    message: str
+
+    def describe(self) -> str:
+        """Human-readable one-liner."""
+        return f"[{self.checker}] t={self.time:.6f}: {self.message}"
+
+
+class InvariantViolationError(AssertionError):
+    """Raised when a checker detects an invariant violation.
+
+    Carries the violation records and (when :func:`run_validated`
+    wrote one) the path of the replay bundle that reproduces the
+    failure.  Defined with an explicit ``__reduce__`` so the error
+    survives pickling across the parallel engine's process pool.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        violations: Sequence[Violation] = (),
+        bundle_path: Optional[str] = None,
+    ) -> None:
+        super().__init__(message)
+        self.message = message
+        self.violations = tuple(violations)
+        self.bundle_path = bundle_path
+
+    def __reduce__(self):
+        return (type(self), (self.message, self.violations, self.bundle_path))
+
+    def __str__(self) -> str:
+        if self.bundle_path:
+            return f"{self.message}\nreplay bundle: {self.bundle_path}"
+        return self.message
+
+
+# ---------------------------------------------------------------------------
+# Process-wide default (opt-in switch)
+# ---------------------------------------------------------------------------
+
+_default_validation: Optional[bool] = None
+
+
+def set_default_validation(enabled: Optional[bool]) -> None:
+    """Set the process-wide validation default.
+
+    ``True``/``False`` override the environment; ``None`` restores
+    "consult ``$REPRO_VALIDATE``".  The test suite's conftest turns
+    this on so every ``run_scenario`` in tier-1 runs validated.
+    """
+    global _default_validation
+    _default_validation = enabled
+
+
+def validation_default() -> bool:
+    """Whether runs validate when the caller does not say."""
+    if _default_validation is not None:
+        return _default_validation
+    return os.environ.get("REPRO_VALIDATE", "").lower() not in ("", "0", "false", "no")
+
+
+# ---------------------------------------------------------------------------
+# Checker base and validator
+# ---------------------------------------------------------------------------
+
+
+class InvariantChecker:
+    """Base class for pluggable invariant checkers.
+
+    ``attach`` wires the checker's observers into a built scenario
+    before it runs; ``finalize`` runs end-of-run checks over the
+    result.  Both receive a ``report(message)`` callable that records
+    the violation (and, in fail-fast mode, aborts the run by raising).
+    Checkers must be pure observers: no RNG draws, no scheduling, no
+    state mutation visible to the system under test.
+    """
+
+    #: Stable identifier used in violation records and replay bundles.
+    name = "checker"
+
+    def attach(self, scenario, report) -> None:
+        """Install observers on a built, not-yet-run scenario."""
+
+    def finalize(self, scenario, result, report) -> None:
+        """Check end-of-run invariants over the completed result."""
+
+
+class Validator:
+    """Attaches checkers to one scenario and collects violations."""
+
+    def __init__(
+        self, checkers: Sequence[InvariantChecker], fail_fast: bool = True
+    ) -> None:
+        self.checkers = list(checkers)
+        self.fail_fast = fail_fast
+        self.violations: List[Violation] = []
+        self._scenario = None
+
+    def attach(self, scenario) -> "Validator":
+        """Wire every checker into ``scenario``; returns self."""
+        self._scenario = scenario
+        for checker in self.checkers:
+            checker.attach(scenario, self._reporter(checker))
+        return self
+
+    def finalize(self, result) -> None:
+        """Run every checker's end-of-run pass over ``result``."""
+        for checker in self.checkers:
+            checker.finalize(self._scenario, result, self._reporter(checker))
+
+    def _reporter(self, checker: InvariantChecker):
+        def report(message: str) -> None:
+            now = self._scenario.sim.now if self._scenario is not None else 0.0
+            violation = Violation(checker=checker.name, time=now, message=message)
+            self.violations.append(violation)
+            if self.fail_fast:
+                raise InvariantViolationError(
+                    f"invariant violated {violation.describe()}",
+                    violations=tuple(self.violations),
+                )
+
+        return report
+
+
+def run_validated(scenario, bundle_dir=None, checkers=None):
+    """Run a built scenario under the invariant engine.
+
+    On violation, writes a replay bundle (canonical config + seed +
+    event-log tail) and re-raises :class:`InvariantViolationError`
+    with ``bundle_path`` set.  ``bundle_dir`` chooses where bundles
+    land (``None`` = the default directory, ``False`` = don't write
+    one — the replay path uses this to avoid bundling the bundle).
+    """
+    from repro.metrics.eventlog import attach_to_scenario
+    from repro.validate.bundle import write_bundle
+    from repro.validate.checkers import default_checkers
+
+    validator = Validator(
+        checkers if checkers is not None else default_checkers(scenario)
+    )
+    log = attach_to_scenario(scenario)
+    validator.attach(scenario)
+    try:
+        result = scenario.run()
+        validator.finalize(result)
+    except InvariantViolationError as err:
+        if bundle_dir is not False:
+            err.bundle_path = str(
+                write_bundle(scenario.config, err.violations, log, bundle_dir)
+            )
+        raise
+    return result

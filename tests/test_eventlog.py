@@ -13,6 +13,7 @@ from repro.metrics.eventlog import (
     EventLog,
     EventLogAnalyzer,
     EventType,
+    TraceParseError,
     attach_to_scenario,
 )
 
@@ -42,6 +43,38 @@ class TestSerialization:
     def test_malformed_line_rejected(self):
         with pytest.raises(ValueError):
             Event.from_line("not enough fields")
+
+    def test_wrong_field_count_names_the_problem(self):
+        with pytest.raises(TraceParseError, match="expected 6.*got 3"):
+            Event.from_line("1.0 air_send BS->MH")
+
+    def test_bad_time_field(self):
+        with pytest.raises(TraceParseError, match="bad time field 'soon'"):
+            Event.from_line("soon air_send BS->MH data 128 9")
+
+    def test_unknown_event_type_lists_known_types(self):
+        with pytest.raises(TraceParseError, match="unknown event type 'warp'"):
+            Event.from_line("1.0 warp BS->MH data 128 9")
+
+    def test_bad_size_or_uid_field(self):
+        with pytest.raises(TraceParseError, match="bad size/uid field"):
+            Event.from_line("1.0 air_send BS->MH data many 9")
+        with pytest.raises(TraceParseError, match="bad size/uid field"):
+            Event.from_line("1.0 air_send BS->MH data 128 nine")
+
+    def test_parse_error_is_a_value_error(self):
+        # Callers that caught the old bare ValueError keep working.
+        assert issubclass(TraceParseError, ValueError)
+
+    def test_read_reports_line_number(self):
+        trace = "1.0 air_send BS->MH data 128 9\n\nbogus line here\n"
+        with pytest.raises(TraceParseError, match="line 3:"):
+            EventLog.read(io.StringIO(trace))
+
+    def test_read_skips_blank_lines(self):
+        trace = "\n1.0 air_send BS->MH data 128 9\n\n"
+        log = EventLog.read(io.StringIO(trace))
+        assert len(log) == 1
 
     def test_line_format(self):
         event = Event(12.345678, EventType.AIR_SEND, "BS->MH", "data", 128, 9)

@@ -5,26 +5,33 @@ transfer must satisfy conservation and accounting invariants.  These
 are the tests most likely to catch protocol-machinery bugs (duplicate
 delivery, lost bytes, mis-counted retransmissions) that scenario tests
 with fixed parameters would miss.
+
+Example counts come from the Hypothesis profiles in ``conftest.py``:
+the default ``tier1`` profile runs 25 examples per property; the
+nightly CI job reruns everything with ``REPRO_HYPOTHESIS_PROFILE=nightly``
+(200 examples).
 """
 
 from __future__ import annotations
 
 import pytest
-from hypothesis import HealthCheck, given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.experiments.config import wan_scenario
 from repro.experiments.topology import Scheme, run_scenario
+from repro.workloads.interactive import InteractiveConfig, run_interactive_session
 
 TRANSFER = 8 * 1024  # small transfers keep each example fast
 
 SCHEMES = st.sampled_from(
-    [Scheme.BASIC, Scheme.LOCAL_RECOVERY, Scheme.EBSN, Scheme.QUENCH, Scheme.SNOOP]
-)
-
-_slow = settings(
-    max_examples=25,
-    deadline=None,
-    suppress_health_check=[HealthCheck.too_slow],
+    [
+        Scheme.BASIC,
+        Scheme.LOCAL_RECOVERY,
+        Scheme.EBSN,
+        Scheme.QUENCH,
+        Scheme.SNOOP,
+        Scheme.SPLIT,
+    ]
 )
 
 
@@ -46,24 +53,26 @@ def scenario_configs(draw):
 
 class TestConservation:
     @given(config=scenario_configs())
-    @_slow
     def test_every_byte_delivered_exactly_once(self, config):
         result = run_scenario(config)
         assert result.completed
         assert result.sink.stats.useful_payload_bytes == TRANSFER
 
     @given(config=scenario_configs())
-    @_slow
     def test_accounting_invariants(self, config):
         result = run_scenario(config)
         m = result.metrics
         s = result.sender.stats
 
+        assert m.goodput > 0.0
         # Goodput can never exceed 1 (you cannot deliver more useful
-        # bytes than you sent).
-        assert 0.0 < m.goodput <= 1.0 + 1e-9
-        # Useful wire bytes <= bytes the source put on the wire.
-        assert m.useful_wire_bytes <= m.bytes_sent_wire
+        # bytes than you sent) and useful wire bytes are bounded by
+        # what the source put on the wire — except under SPLIT, whose
+        # relay re-segments onto the wireless hop with its own headers,
+        # so the sink-side byte counts aren't bounded by the source's.
+        if config.scheme is not Scheme.SPLIT:
+            assert m.goodput <= 1.0 + 1e-9
+            assert m.useful_wire_bytes <= m.bytes_sent_wire
         # Retransmission counters are consistent.
         assert s.retransmissions == s.segments_sent - result.sender.total_segments
         assert s.retransmitted_bytes_wire <= s.bytes_sent_wire
@@ -72,14 +81,12 @@ class TestConservation:
         assert len(result.trace) == s.segments_sent
 
     @given(config=scenario_configs())
-    @_slow
     def test_throughput_bounded_by_link_capacity(self, config):
         result = run_scenario(config)
         effective = config.wireless.effective_bandwidth_bps
         assert result.metrics.wire_throughput_bps <= effective * 1.05
 
     @given(config=scenario_configs())
-    @_slow
     def test_determinism(self, config):
         a = run_scenario(config)
         b = run_scenario(config)
@@ -93,7 +100,6 @@ class TestSchemeInvariants:
         seed=st.integers(min_value=1, max_value=10_000),
         bad=st.sampled_from([1.0, 2.0, 4.0]),
     )
-    @_slow
     def test_ebsn_rearms_match_receipts(self, seed, bad):
         result = run_scenario(
             wan_scenario(
@@ -111,7 +117,6 @@ class TestSchemeInvariants:
         assert s.ebsn_received <= result.ebsn.ebsn_sent
 
     @given(seed=st.integers(min_value=1, max_value=10_000))
-    @_slow
     def test_arq_frame_conservation(self, seed):
         result = run_scenario(
             wan_scenario(
@@ -133,3 +138,44 @@ class TestSchemeInvariants:
                 stats.first_transmissions + stats.link_retransmissions
                 >= stats.link_acks_received
             )
+
+
+class TestInteractiveWorkload:
+    """The stream-fed (telnet-style) workload generator's invariants."""
+
+    @given(
+        scheme=st.sampled_from([Scheme.BASIC, Scheme.LOCAL_RECOVERY, Scheme.EBSN]),
+        seed=st.integers(min_value=1, max_value=10_000),
+        keystrokes=st.integers(min_value=5, max_value=40),
+        think=st.sampled_from([0.1, 0.5, 1.0]),
+    )
+    def test_every_keystroke_delivered_with_sane_latency(
+        self, scheme, seed, keystrokes, think
+    ):
+        result = run_interactive_session(
+            InteractiveConfig(
+                scheme=scheme,
+                keystrokes=keystrokes,
+                think_time_mean=think,
+                seed=seed,
+            )
+        )
+        assert result.completed
+        # One latency sample per keystroke — none lost, none duplicated.
+        assert result.latency.count == keystrokes
+        # The distribution summary must be ordered and causal.
+        assert 0.0 < result.latency.p50 <= result.latency.p95 <= result.latency.worst
+        assert result.latency.mean <= result.latency.worst
+        assert result.duration >= result.latency.worst
+        assert result.timeouts >= 0
+
+    @given(seed=st.integers(min_value=1, max_value=10_000))
+    def test_interactive_determinism(self, seed):
+        config = InteractiveConfig(
+            scheme=Scheme.EBSN, keystrokes=10, seed=seed
+        )
+        a = run_interactive_session(config)
+        b = run_interactive_session(config)
+        assert a.latency == b.latency
+        assert a.duration == b.duration
+        assert a.timeouts == b.timeouts

@@ -1,0 +1,214 @@
+"""Tests for the runtime invariant-validation engine.
+
+Two directions: clean scenarios across every scheme family must report
+zero violations (validation is not allowed to cry wolf), and the
+fault-injection doubles in :mod:`repro.validate.testing` must each be
+caught by the checker that guards their invariant (a validator that
+has never failed is untested).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments.config import (
+    lan_scenario,
+    trace_example_scenario,
+    wan_scenario,
+)
+from repro.experiments.topology import Scenario, Scheme, run_scenario
+from repro.validate.engine import (
+    InvariantViolationError,
+    Validator,
+    Violation,
+    run_validated,
+    set_default_validation,
+    validation_default,
+)
+from repro.validate.checkers import default_checkers
+from repro.validate.testing import BackwardsAckSender, CwndMutatingEbsnSender
+
+TRANSFER = 12 * 1024
+
+
+def validated(config):
+    """Run one config under the engine without writing bundles."""
+    return run_scenario(config, validate=True, bundle_dir=False)
+
+
+class TestCleanScenarios:
+    """The five paper figure scenario families validate clean."""
+
+    @pytest.mark.parametrize("figure", [3, 4, 5])
+    def test_trace_figures_validate_clean(self, figure):
+        schemes = {3: Scheme.BASIC, 4: Scheme.LOCAL_RECOVERY, 5: Scheme.EBSN}
+        result = validated(trace_example_scenario(schemes[figure]))
+        assert result.completed
+
+    @pytest.mark.parametrize("scheme", list(Scheme))
+    def test_wan_schemes_validate_clean(self, scheme):
+        result = validated(
+            wan_scenario(
+                scheme=scheme, transfer_bytes=TRANSFER, record_trace=False
+            )
+        )
+        assert result.completed
+
+    @pytest.mark.parametrize("scheme", [Scheme.BASIC, Scheme.EBSN])
+    def test_lan_schemes_validate_clean(self, scheme):
+        result = validated(
+            lan_scenario(scheme=scheme, transfer_bytes=128 * 1024)
+        )
+        assert result.completed
+
+    @pytest.mark.parametrize("variant", ["tahoe", "reno", "newreno"])
+    def test_tcp_variants_validate_clean(self, variant):
+        result = validated(
+            wan_scenario(
+                transfer_bytes=TRANSFER,
+                tcp_variant=variant,
+                record_trace=False,
+            )
+        )
+        assert result.completed
+
+
+class TestObserverPurity:
+    """A validated run must be bit-identical to an unvalidated one."""
+
+    @pytest.mark.parametrize(
+        "scheme", [Scheme.BASIC, Scheme.EBSN, Scheme.SPLIT]
+    )
+    def test_validation_does_not_perturb_the_run(self, scheme):
+        config = wan_scenario(
+            scheme=scheme, transfer_bytes=TRANSFER, record_trace=False
+        )
+        plain = run_scenario(config, validate=False)
+        checked = validated(config)
+
+        def fingerprint(result):
+            return (
+                result.metrics.duration,
+                result.metrics.segments_sent,
+                result.metrics.retransmissions,
+                result.metrics.timeouts,
+                result.metrics.throughput_bps,
+            )
+
+        assert fingerprint(plain) == fingerprint(checked)
+
+
+class TestFaultInjection:
+    def test_ebsn_window_mutation_is_caught(self, tmp_path):
+        config = replace(
+            wan_scenario(
+                scheme=Scheme.EBSN, transfer_bytes=TRANSFER, record_trace=False
+            ),
+            sender_factory=CwndMutatingEbsnSender,
+        )
+        with pytest.raises(InvariantViolationError) as excinfo:
+            run_scenario(config, validate=True, bundle_dir=tmp_path)
+        err = excinfo.value
+        assert err.violations
+        assert err.violations[0].checker == "ebsn-no-window-action"
+        assert err.bundle_path is not None
+
+    def test_backwards_ack_is_caught(self):
+        config = replace(
+            wan_scenario(transfer_bytes=TRANSFER, record_trace=False),
+            sender_factory=BackwardsAckSender,
+        )
+        with pytest.raises(InvariantViolationError) as excinfo:
+            validated(config)
+        assert excinfo.value.violations[0].checker == "tcp-state"
+
+    def test_bundle_dir_false_writes_nothing(self):
+        config = replace(
+            wan_scenario(transfer_bytes=TRANSFER, record_trace=False),
+            sender_factory=BackwardsAckSender,
+        )
+        with pytest.raises(InvariantViolationError) as excinfo:
+            validated(config)
+        assert excinfo.value.bundle_path is None
+
+
+class TestValidatorMachinery:
+    def test_non_fail_fast_collects_all_violations(self):
+        validator = Validator(default_checkers(None), fail_fast=False)
+
+        class FakeSim:
+            now = 1.0
+
+        class FakeScenario:
+            sim = FakeSim()
+
+        validator._scenario = FakeScenario()
+        report = validator._reporter(validator.checkers[0])
+        report("first")
+        report("second")
+        assert [v.message for v in validator.violations] == ["first", "second"]
+
+    def test_error_survives_pickling(self):
+        import pickle
+
+        original = InvariantViolationError(
+            "boom",
+            violations=(Violation("tcp-state", 1.5, "snd_una went back"),),
+            bundle_path="/tmp/violation-abc.json",
+        )
+        clone = pickle.loads(pickle.dumps(original))
+        assert clone.message == "boom"
+        assert clone.violations == original.violations
+        assert clone.bundle_path == original.bundle_path
+
+    def test_violation_describe_format(self):
+        v = Violation("arq-rtmax", 2.25, "too many attempts")
+        assert v.describe() == "[arq-rtmax] t=2.250000: too many attempts"
+
+
+class TestValidationDefault:
+    def test_set_default_overrides_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VALIDATE", "0")
+        previous_on = validation_default()  # conftest turned it on
+        assert previous_on is True
+        set_default_validation(None)
+        try:
+            assert validation_default() is False
+            monkeypatch.setenv("REPRO_VALIDATE", "1")
+            assert validation_default() is True
+            set_default_validation(False)
+            assert validation_default() is False
+        finally:
+            set_default_validation(True)  # restore the conftest default
+
+    def test_run_scenario_consults_the_default(self):
+        # conftest sets the default on; a misbehaving sender must be
+        # caught even without validate=True at the call site.
+        config = replace(
+            wan_scenario(transfer_bytes=TRANSFER, record_trace=False),
+            sender_factory=BackwardsAckSender,
+        )
+        with pytest.raises(InvariantViolationError):
+            run_scenario(config, bundle_dir=False)
+
+
+class TestCustomCheckers:
+    def test_run_validated_accepts_custom_checker_set(self):
+        from repro.validate.engine import InvariantChecker
+
+        seen = []
+
+        class Recorder(InvariantChecker):
+            name = "recorder"
+
+            def finalize(self, scenario, result, report):
+                seen.append(result.completed)
+
+        scenario = Scenario(
+            wan_scenario(transfer_bytes=TRANSFER, record_trace=False)
+        )
+        result = run_validated(scenario, bundle_dir=False, checkers=[Recorder()])
+        assert result.completed
+        assert seen == [True]

@@ -1,0 +1,181 @@
+"""The full failure-replay loop: violation → bundle → deterministic replay.
+
+This is the subsystem's acceptance path: an intentionally-seeded
+invariant violation must be caught, produce a replay bundle, and
+``repro replay <bundle>`` must reproduce the identical violation from
+the bundle alone.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments.config import wan_scenario
+from repro.experiments.topology import Scheme, run_scenario
+from repro.validate.bundle import (
+    decode_value,
+    encode_value,
+    load_bundle,
+    replay_bundle,
+)
+from repro.validate.engine import InvariantViolationError
+from repro.validate.testing import CwndMutatingEbsnSender
+
+TRANSFER = 12 * 1024
+
+
+@pytest.fixture
+def violating_config():
+    return replace(
+        wan_scenario(
+            scheme=Scheme.EBSN, transfer_bytes=TRANSFER, record_trace=False
+        ),
+        sender_factory=CwndMutatingEbsnSender,
+    )
+
+
+@pytest.fixture
+def bundle_path(violating_config, tmp_path):
+    with pytest.raises(InvariantViolationError) as excinfo:
+        run_scenario(violating_config, validate=True, bundle_dir=tmp_path)
+    path = excinfo.value.bundle_path
+    assert path is not None
+    return path
+
+
+class TestBundleContents:
+    def test_bundle_records_the_failure(self, bundle_path, violating_config):
+        bundle = load_bundle(bundle_path)
+        assert bundle.seed == violating_config.seed
+        assert bundle.config == violating_config
+        assert bundle.config.sender_factory is CwndMutatingEbsnSender
+        assert bundle.violations
+        assert bundle.violations[0].checker == "ebsn-no-window-action"
+        # The event-log tail leading up to the violation came along.
+        assert bundle.event_log_tail
+        assert all(" " in line for line in bundle.event_log_tail)
+
+    def test_bundle_is_plain_json(self, bundle_path):
+        payload = json.loads(open(bundle_path).read())
+        assert payload["kind"] == "repro-replay-bundle"
+        assert payload["format"] == 1
+        assert payload["digest"]
+        assert payload["code_token"]
+
+    def test_load_rejects_non_bundles(self, tmp_path):
+        impostor = tmp_path / "not-a-bundle.json"
+        impostor.write_text(json.dumps({"kind": "something-else"}))
+        with pytest.raises(ValueError, match="not a replay bundle"):
+            load_bundle(impostor)
+
+    def test_load_rejects_future_formats(self, tmp_path):
+        future = tmp_path / "future.json"
+        future.write_text(
+            json.dumps({"kind": "repro-replay-bundle", "format": 999})
+        )
+        with pytest.raises(ValueError, match="format 999"):
+            load_bundle(future)
+
+
+class TestReplay:
+    def test_replay_reproduces_the_violation(self, bundle_path):
+        outcome = replay_bundle(bundle_path)
+        assert outcome.reproduced
+        assert outcome.code_matches
+        assert outcome.violations[0].checker == "ebsn-no-window-action"
+        # Determinism: the replay hits the violation at the same time
+        # with the same message.
+        assert outcome.violations[0] == outcome.bundle.violations[0]
+
+    def test_replay_does_not_mint_new_bundles(self, bundle_path, tmp_path):
+        before = sorted(tmp_path.glob("violation-*.json"))
+        replay_bundle(bundle_path)
+        assert sorted(tmp_path.glob("violation-*.json")) == before
+
+    def test_clean_config_does_not_reproduce(self, bundle_path, tmp_path):
+        # Doctor the bundle to a healthy sender: the replay must come
+        # back clean and reproduced=False.
+        payload = json.loads(open(bundle_path).read())
+        payload["config"]["fields"]["sender_factory"] = None
+        doctored = tmp_path / "doctored.json"
+        doctored.write_text(json.dumps(payload))
+        outcome = replay_bundle(doctored)
+        assert not outcome.reproduced
+        assert outcome.violations == ()
+
+
+class TestReplayCli:
+    def test_cli_replay_reproduces(self, bundle_path, capsys):
+        from repro.cli import main
+
+        assert main(["replay", str(bundle_path)]) == 0
+        out = capsys.readouterr().out
+        assert "REPRODUCED" in out
+        assert "ebsn-no-window-action" in out
+
+    def test_cli_replay_missing_bundle(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["replay", str(tmp_path / "nope.json")]) == 2
+
+    def test_cli_replay_clean_run_exits_one(self, bundle_path, tmp_path, capsys):
+        from repro.cli import main
+
+        payload = json.loads(open(bundle_path).read())
+        payload["config"]["fields"]["sender_factory"] = None
+        doctored = tmp_path / "doctored.json"
+        doctored.write_text(json.dumps(payload))
+        assert main(["replay", str(doctored)]) == 1
+
+    def test_cli_surfaces_violation_and_bundle(self, tmp_path, monkeypatch,
+                                               capsys):
+        """A validated CLI run that violates exits 3 and names the bundle."""
+        from repro import cli
+
+        monkeypatch.setenv("REPRO_BUNDLE_DIR", str(tmp_path))
+        real = cli.run_scenario
+
+        def sabotaged_run_scenario(config, **kwargs):
+            config = replace(config, sender_factory=CwndMutatingEbsnSender)
+            return real(config, **kwargs)
+
+        monkeypatch.setattr(cli, "run_scenario", sabotaged_run_scenario)
+        rc = cli.main(
+            ["run", "--scheme", "ebsn", "--transfer-kb", "12", "--validate"]
+        )
+        assert rc == 3
+        err = capsys.readouterr().err
+        assert "invariant violation" in err
+        assert "ebsn-no-window-action" in err
+        assert "replay bundle written" in err
+        assert list(tmp_path.glob("violation-*.json"))
+
+
+class TestEncoding:
+    def test_config_round_trips(self, violating_config):
+        assert decode_value(encode_value(violating_config)) == violating_config
+
+    def test_scalars_pass_through(self):
+        for value in (None, True, 3, 2.5, "text", [1, "a"], (2, 3)):
+            encoded = encode_value(value)
+            decoded = decode_value(encoded)
+            if isinstance(value, tuple):
+                assert decoded == list(value)
+            else:
+                assert decoded == value
+
+    def test_enums_round_trip_with_module(self):
+        encoded = encode_value(Scheme.EBSN)
+        assert "repro.experiments.topology" in encoded["__enum__"]
+        assert decode_value(encoded) is Scheme.EBSN
+
+    def test_classes_round_trip(self):
+        encoded = encode_value(CwndMutatingEbsnSender)
+        assert decode_value(encoded) is CwndMutatingEbsnSender
+
+    def test_unencodable_value_is_an_error(self):
+        with pytest.raises(TypeError, match="cannot encode"):
+            encode_value(object())
