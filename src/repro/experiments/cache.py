@@ -28,11 +28,17 @@ import json
 import os
 import pickle
 import tempfile
+import time
 from pathlib import Path
 from typing import Any, Optional
 
 #: Bump when the cached payload format changes incompatibly.
 CACHE_FORMAT = 1
+
+#: A ``*.tmp`` file older than this (seconds) is an orphan from a
+#: writer that died mid-``put`` — safe to sweep.  Younger ones may
+#: belong to a live concurrent writer and are left alone.
+STALE_TMP_AGE = 3600.0
 
 _code_version_token: Optional[str] = None
 
@@ -136,6 +142,31 @@ class ResultCache:
         # One token per cache handle: stable within a run, recomputed
         # per process so code edits are always picked up.
         self._code_token = code_version_token()
+        self.sweep_stale_tmp()
+
+    def sweep_stale_tmp(self, max_age: float = STALE_TMP_AGE) -> int:
+        """Remove orphaned ``*.tmp`` files left by writers that died
+        mid-``put``; returns the number removed.
+
+        Only files older than ``max_age`` seconds go — a young tmp file
+        may belong to a live writer about to ``os.replace`` it.  Runs
+        opportunistically on every cache open, so a crashed campaign
+        never accumulates droppings.
+        """
+        removed = 0
+        if not self.root.is_dir():
+            return 0
+        cutoff = time.time() - max_age
+        for orphan in self.root.glob("*/*.tmp"):
+            try:
+                if orphan.stat().st_mtime < cutoff:
+                    orphan.unlink()
+                    removed += 1
+            except OSError:
+                # Swept by a concurrent opener, or permissions — the
+                # sweep is best-effort either way.
+                continue
+        return removed
 
     def key(self, config: Any) -> str:
         """Digest for ``config`` under the current code version."""

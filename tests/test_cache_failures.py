@@ -121,6 +121,43 @@ class TestConcurrentWriters:
         assert list(cache.root.rglob("*.tmp")) == []
 
 
+class TestStaleTmpSweep:
+    def _orphan(self, cache, summary, age: float) -> Path:
+        """Plant a tmp file as a writer dying mid-put would leave it."""
+        key = cache.key(summary.config)
+        fanout = cache._path(key).parent
+        fanout.mkdir(parents=True, exist_ok=True)
+        orphan = fanout / "deadwriter.tmp"
+        orphan.write_bytes(b"half a pickle")
+        stamp = __import__("time").time() - age
+        __import__("os").utime(orphan, (stamp, stamp))
+        return orphan
+
+    def test_stale_tmp_swept_on_open(self, cache, summary):
+        orphan = self._orphan(cache, summary, age=7200.0)
+        reopened = ResultCache(root=cache.root)
+        assert not orphan.exists()
+        assert reopened.get(cache.key(summary.config)) is None  # still a miss
+
+    def test_fresh_tmp_survives_the_sweep(self, cache, summary):
+        """A live concurrent writer's tmp file must not be deleted."""
+        orphan = self._orphan(cache, summary, age=0.0)
+        ResultCache(root=cache.root)
+        assert orphan.exists()
+
+    def test_sweep_reports_count_and_is_idempotent(self, cache, summary):
+        self._orphan(cache, summary, age=7200.0)
+        assert cache.sweep_stale_tmp() == 1
+        assert cache.sweep_stale_tmp() == 0
+
+    def test_put_after_crashed_writer_still_lands(self, cache, summary):
+        """An orphaned tmp never blocks a later successful write."""
+        self._orphan(cache, summary, age=7200.0)
+        key = cache.key(summary.config)
+        cache.put(key, summary)
+        assert cache.get(key) == summary
+
+
 class TestCodeVersionToken:
     def _scratch_package(self, tmp_path: Path) -> Path:
         root = tmp_path / "pkg"
