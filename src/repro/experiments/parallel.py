@@ -25,7 +25,7 @@ import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Iterator, List, Optional, Sequence
 
 from repro.experiments import topology
 from repro.experiments.cache import ResultCache
@@ -144,16 +144,17 @@ class ParallelRunner:
     def _run_serial(self, configs: Sequence[ScenarioConfig]) -> List[RunSummary]:
         return [self._unit(config) for config in configs]
 
-    def _run_pool(self, configs: Sequence[ScenarioConfig]) -> List[RunSummary]:
+    def _run_pool(self, configs: Sequence[ScenarioConfig]) -> Iterator[RunSummary]:
         context = _fork_context()
         if context is None:
-            return self._run_serial(configs)
+            yield from self._run_serial(configs)
+            return
         workers = min(self.workers, len(configs))
         chunk = self.chunk_size
         if chunk is None:
             chunk = max(1, len(configs) // (workers * 4))
         with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
-            return list(pool.map(self._unit, configs, chunksize=chunk))
+            yield from pool.map(self._unit, configs, chunksize=chunk)
 
     def run(self, configs: Sequence[ScenarioConfig]) -> List[RunSummary]:
         """Run every config, in input order, via cache then pool.
@@ -179,9 +180,11 @@ class ParallelRunner:
         if miss_indices:
             miss_configs = [configs[i] for i in miss_indices]
             if self.workers <= 1 or len(miss_configs) <= 1:
-                fresh = self._run_serial(miss_configs)
+                fresh = (self._unit(config) for config in miss_configs)
             else:
                 fresh = self._run_pool(miss_configs)
+            # Write each summary back the moment it lands: a crash
+            # mid-batch must not discard the units already finished.
             for i, summary in zip(miss_indices, fresh):
                 summaries[i] = summary
                 if self.cache is not None and keys[i] is not None:

@@ -169,6 +169,36 @@ class TestResultCache:
         assert cache.clear() == 0
 
 
+    def test_finished_units_cached_before_batch_completes(
+        self, tmp_path, monkeypatch
+    ):
+        """A crash mid-batch must not lose the work already finished.
+
+        The third unit blows up; the first two summaries must already
+        be on disk, so a rerun only simulates the remainder.
+        """
+        cache = ResultCache(tmp_path)
+        config = wan_scenario(transfer_bytes=TINY)
+        calls = []
+        original = topology.run_scenario
+
+        def flaky(cfg):
+            calls.append(cfg)
+            if len(calls) == 3:
+                raise OSError("simulated crash mid-batch")
+            return original(cfg)
+
+        monkeypatch.setattr(topology, "run_scenario", flaky)
+        with pytest.raises(OSError, match="mid-batch"):
+            run_replicated(config, replications=4, cache=cache)
+        assert len(list(tmp_path.glob("*/*.pkl"))) == 2
+        # The rerun reuses the two cached seeds and simulates the rest.
+        calls.clear()
+        result = run_replicated(config, replications=4, cache=cache)
+        assert result.replications == 4
+        assert len(calls) == 2
+
+
 class TestConfigDigest:
     def test_stable_for_equal_configs(self):
         a = wan_scenario(transfer_bytes=TINY, seed=5)
