@@ -7,7 +7,12 @@ streams (:class:`RandomStreams`) so that every stochastic component of
 a simulation draws from its own reproducible sequence.
 """
 
-from repro.engine.simulator import Event, Simulator, SimulationError
+from repro.engine.simulator import (
+    Event,
+    Simulator,
+    SimulationError,
+    WallClockExceeded,
+)
 from repro.engine.timer import Timer
 from repro.engine.rng import RandomStreams
 
@@ -15,6 +20,7 @@ __all__ = [
     "Event",
     "Simulator",
     "SimulationError",
+    "WallClockExceeded",
     "Timer",
     "RandomStreams",
 ]

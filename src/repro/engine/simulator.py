@@ -9,11 +9,31 @@ deterministic callbacks.
 from __future__ import annotations
 
 import heapq
+import time
 from typing import Any, Callable, Optional
 
 
 class SimulationError(RuntimeError):
     """Raised on misuse of the simulator (e.g. scheduling in the past)."""
+
+
+class WallClockExceeded(SimulationError):
+    """A run overshot its wall-clock budget (a hung/runaway simulation).
+
+    Raised cooperatively by :meth:`Simulator.run` between events when a
+    ``wall_timeout`` was given.  The fault-tolerant campaign layer maps
+    this to a structured ``timeout`` fault; standalone callers get a
+    clear exception instead of an indefinite hang.
+    """
+
+    def __init__(self, elapsed: float, budget: float, events: int) -> None:
+        super().__init__(
+            f"simulation exceeded its wall-clock budget: {elapsed:.2f}s "
+            f"elapsed (budget {budget:g}s) after {events} events"
+        )
+        self.elapsed = elapsed
+        self.budget = budget
+        self.events = events
 
 
 class Event:
@@ -85,6 +105,12 @@ class Simulator:
     #: Don't bother compacting heaps smaller than this: the rebuild
     #: bookkeeping would dominate the bisect savings.
     COMPACT_MIN_HEAP = 64
+
+    #: Events between wall-clock watchdog checks.  Checking the OS
+    #: clock every event would cost more than the event dispatch; at
+    #: this stride the overhead is unmeasurable while a runaway run is
+    #: still caught within milliseconds of its deadline.
+    WATCHDOG_STRIDE = 2048
 
     def __init__(self) -> None:
         self._heap: list[Event] = []
@@ -173,24 +199,47 @@ class Simulator:
             return True
         return False
 
-    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+        wall_timeout: Optional[float] = None,
+    ) -> None:
         """Run until the heap drains, ``until`` is reached, or ``stop()``.
 
         ``until`` is inclusive: events at exactly that time execute, and
         the clock is advanced to ``until`` when the limit is hit with
         events still pending.  ``max_events`` bounds the number of
         callbacks executed in this call (a runaway-loop guard for
-        tests).
+        tests).  ``wall_timeout`` is a *real-time* watchdog: when the
+        call has run longer than that many wall-clock seconds, it
+        aborts with :class:`WallClockExceeded` (checked every
+        ``WATCHDOG_STRIDE`` events, so the run stays bit-identical to
+        an unwatched one right up to the abort).
         """
         if self._running:
             raise SimulationError("run() called re-entrantly")
         self._running = True
         self._stopped = False
         executed = 0
+        deadline = (
+            time.monotonic() + wall_timeout if wall_timeout is not None else None
+        )
         try:
             while not self._stopped:
                 if max_events is not None and executed >= max_events:
                     break
+                if (
+                    deadline is not None
+                    and executed % self.WATCHDOG_STRIDE == 0
+                    and executed
+                    and time.monotonic() > deadline
+                ):
+                    raise WallClockExceeded(
+                        time.monotonic() - (deadline - wall_timeout),
+                        wall_timeout,
+                        executed,
+                    )
                 next_time = self.peek()
                 if next_time is None:
                     if until is not None and self._now < until:

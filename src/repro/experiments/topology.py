@@ -372,10 +372,16 @@ class Scenario:
 
     # -- running ----------------------------------------------------------
 
-    def run(self) -> ScenarioResult:
-        """Run the transfer to completion (or the abort horizon)."""
+    def run(self, wall_timeout: Optional[float] = None) -> ScenarioResult:
+        """Run the transfer to completion (or the abort horizon).
+
+        ``wall_timeout`` arms the engine's real-time watchdog: a hung
+        or runaway run aborts with
+        :class:`~repro.engine.simulator.WallClockExceeded` instead of
+        spinning until the simulated-time horizon.
+        """
         self.sender.start()
-        self.sim.run(until=self.config.max_sim_time)
+        self.sim.run(until=self.config.max_sim_time, wall_timeout=wall_timeout)
         if self.split_relay is not None:
             completed = self.sink.completed
         else:
@@ -413,6 +419,7 @@ def run_scenario(
     config: ScenarioConfig,
     validate: "Optional[bool]" = None,
     bundle_dir=None,
+    wall_timeout: Optional[float] = None,
 ) -> ScenarioResult:
     """Build and run one scenario (convenience wrapper).
 
@@ -425,6 +432,10 @@ def run_scenario(
     process default — off, unless the test suite or ``REPRO_VALIDATE``
     turned it on.  Checkers are pure observers, so validated runs are
     bit-identical to unvalidated ones.
+
+    ``wall_timeout`` bounds the run in *wall-clock* seconds via the
+    engine watchdog (see :meth:`Scenario.run`); the campaign layer
+    uses this to kill hung units instead of waiting forever.
     """
     # Imported lazily: repro.validate pulls in the bundle/cache layers,
     # which this module's import-time dependencies must not require.
@@ -434,8 +445,8 @@ def run_scenario(
         validate = validation_default()
     scenario = Scenario(config)
     if not validate:
-        return scenario.run()
-    return run_validated(scenario, bundle_dir=bundle_dir)
+        return scenario.run(wall_timeout=wall_timeout)
+    return run_validated(scenario, bundle_dir=bundle_dir, wall_timeout=wall_timeout)
 
 
 def with_scheme(config: ScenarioConfig, scheme: Scheme) -> ScenarioConfig:

@@ -162,7 +162,7 @@ class Validator:
         return report
 
 
-def run_validated(scenario, bundle_dir=None, checkers=None):
+def run_validated(scenario, bundle_dir=None, checkers=None, wall_timeout=None):
     """Run a built scenario under the invariant engine.
 
     On violation, writes a replay bundle (canonical config + seed +
@@ -170,6 +170,8 @@ def run_validated(scenario, bundle_dir=None, checkers=None):
     with ``bundle_path`` set.  ``bundle_dir`` chooses where bundles
     land (``None`` = the default directory, ``False`` = don't write
     one — the replay path uses this to avoid bundling the bundle).
+    ``wall_timeout`` arms the engine's wall-clock watchdog, exactly as
+    in the unvalidated path.
     """
     from repro.metrics.eventlog import attach_to_scenario
     from repro.validate.bundle import write_bundle
@@ -181,7 +183,7 @@ def run_validated(scenario, bundle_dir=None, checkers=None):
     log = attach_to_scenario(scenario)
     validator.attach(scenario)
     try:
-        result = scenario.run()
+        result = scenario.run(wall_timeout=wall_timeout)
         validator.finalize(result)
     except InvariantViolationError as err:
         if bundle_dir is not False:
