@@ -16,6 +16,16 @@ Commands:
 Simulation commands accept ``--validate`` to attach the runtime
 invariant engine (:mod:`repro.validate`); a violation aborts the
 command with exit code 3 and prints the replay-bundle path.
+
+The multi-run commands (``sweep``, ``figure``) are fault-tolerant:
+``--timeout`` bounds each unit's wall-clock time, ``--retries`` bounds
+how often a timed-out or crashed unit is re-run, ``--resume JOURNAL``
+checkpoints completed units to a journal file (and skips them when
+re-invoked after a crash or Ctrl-C), and ``--fail-fast`` aborts on the
+first quarantined unit instead of degrading to partial aggregates.
+Partial aggregates print an explicit completeness report and exit 1;
+an aborted campaign exits 4; SIGINT/SIGTERM exits 130 after flushing
+the journal.
 """
 
 from __future__ import annotations
@@ -35,6 +45,7 @@ from repro.experiments.config import (
     wan_scenario,
 )
 from repro.experiments.figures import (
+    SweepSeries,
     figure_7,
     figure_8,
     figure_9,
@@ -45,6 +56,13 @@ from repro.experiments.figures import (
     wan_theoretical_kbps,
 )
 from repro.experiments.cache import ResultCache, default_cache_dir
+from repro.experiments.faults import (
+    CampaignError,
+    CampaignInterrupted,
+    CompletenessReport,
+    merge_reports,
+)
+from repro.experiments.journal import CampaignJournal
 from repro.experiments.runner import run_replicated
 from repro.experiments.topology import Scheme, run_scenario
 
@@ -74,11 +92,65 @@ def _add_engine(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help=f"disable the on-disk result cache ({default_cache_dir()})",
     )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget per simulation unit; a unit past it is "
+        "killed, retried, and eventually quarantined",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="re-runs allowed per timed-out/crashed unit "
+        "(default: the engine's retry policy)",
+    )
+    parser.add_argument(
+        "--resume",
+        default=None,
+        metavar="JOURNAL",
+        help="checkpoint journal path: completed units are appended as "
+        "they finish and skipped on re-invocation (created if missing)",
+    )
+    parser.add_argument(
+        "--fail-fast",
+        action="store_true",
+        help="abort the whole campaign on the first quarantined unit "
+        "(default: degrade to partial aggregates and report what's missing)",
+    )
 
 
 def _engine_cache(args: argparse.Namespace) -> Optional[ResultCache]:
     """The result cache to use, honoring ``--no-cache``."""
     return None if args.no_cache else ResultCache()
+
+
+def _engine_journal(args: argparse.Namespace) -> Optional[CampaignJournal]:
+    """The checkpoint journal to use, honoring ``--resume``."""
+    return CampaignJournal(args.resume) if args.resume else None
+
+
+def _engine_kwargs(args: argparse.Namespace, journal) -> dict:
+    """The fault-tolerant engine knobs shared by sweep/figure."""
+    return dict(
+        workers=args.workers,
+        cache=_engine_cache(args),
+        validate=args.validate,
+        timeout=args.timeout,
+        retries=args.retries,
+        fail_fast=args.fail_fast,
+        journal=journal,
+    )
+
+
+def _finish_campaign(report: CompletenessReport) -> int:
+    """Print the completeness report; exit 1 when aggregates are partial."""
+    print()
+    print(report.describe())
+    return 0 if report.complete else 1
 
 
 def _add_validate(parser: argparse.ArgumentParser) -> None:
@@ -143,8 +215,18 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    journal = _engine_journal(args)
+    try:
+        return _run_sweep(args, journal)
+    finally:
+        if journal is not None:
+            journal.close()
+
+
+def _run_sweep(args: argparse.Namespace, journal) -> int:
     scheme = SCHEMES[args.scheme]
-    cache = _engine_cache(args)
+    engine = _engine_kwargs(args, journal)
+    reports: List[CompletenessReport] = []
     rows = []
     if args.lan:
         for bad in LAN_BAD_PERIODS:
@@ -156,10 +238,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 ),
                 replications=args.replications,
                 base_seed=args.seed,
-                workers=args.workers,
-                cache=cache,
-                validate=args.validate,
+                **engine,
             )
+            reports.append(r.report)
             rows.append(
                 [
                     f"{bad:g}",
@@ -188,10 +269,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 ),
                 replications=args.replications,
                 base_seed=args.seed,
-                workers=args.workers,
-                cache=cache,
-                validate=args.validate,
+                **engine,
             )
+            reports.append(r.report)
             rows.append(
                 [
                     f"{size}",
@@ -211,19 +291,44 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 ),
             )
         )
-    return 0
+    return _finish_campaign(merge_reports(reports))
+
+
+def _figure_reports(data) -> List[CompletenessReport]:
+    """Every completeness report buried in a figure's nested series."""
+    reports: List[CompletenessReport] = []
+
+    def walk(obj) -> None:
+        if isinstance(obj, dict):
+            for value in obj.values():
+                walk(value)
+        elif isinstance(obj, SweepSeries):
+            for result in obj.points.values():
+                if result.report is not None:
+                    reports.append(result.report)
+
+    walk(data)
+    return reports
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
     n = args.number
-    reps = args.replications
-    engine = dict(
-        workers=args.workers, cache=_engine_cache(args), validate=args.validate
-    )
     if n in (3, 4, 5):
         result = trace_figure(n, validate=_single_run_validate(args))
         print(result.trace.render(width=100, t_max=60.0, title=f"Figure {n}"))
         return 0
+    journal = _engine_journal(args)
+    try:
+        return _run_figure(args, journal)
+    finally:
+        if journal is not None:
+            journal.close()
+
+
+def _run_figure(args: argparse.Namespace, journal) -> int:
+    n = args.number
+    reps = args.replications
+    engine = _engine_kwargs(args, journal)
     if n == 7 or n == 8:
         series = (figure_7 if n == 7 else figure_8)(replications=reps, **engine)
         header = ["size(B)"] + [f"bad={b:g}s" for b in WAN_BAD_PERIODS]
@@ -234,7 +339,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         ]
         rows.append(["tput_th"] + [f"{wan_theoretical_kbps(b):.2f}" for b in WAN_BAD_PERIODS])
         print(format_table(header, rows, title=f"Figure {n} (throughput, kbps):"))
-        return 0
+        return _finish_campaign(merge_reports(_figure_reports(series)))
     if n == 9:
         data = figure_9(replications=reps, **engine)
         for label, series in data.items():
@@ -248,7 +353,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
                 for size in WAN_PACKET_SIZES
             ]
             print(format_table(header, rows, title=f"Figure 9, {label} (KB retransmitted):"))
-        return 0
+        return _finish_campaign(merge_reports(_figure_reports(data)))
     if n in (10, 11):
         data = (
             figure_10(replications=reps, **engine)
@@ -286,7 +391,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
                     ["bad(s)", "basic(KB)", "ebsn(KB)"], rows, title="Figure 11:"
                 )
             )
-        return 0
+        return _finish_campaign(merge_reports(_figure_reports(data)))
     print(f"unknown figure {n}; know 3, 4, 5, 7, 8, 9, 10, 11", file=sys.stderr)
     return 2
 
@@ -596,6 +701,24 @@ def main(argv: Optional[List[str]] = None) -> int:
                 file=sys.stderr,
             )
         return 3
+    except CampaignInterrupted as err:
+        print(str(err), file=sys.stderr)
+        if err.journal_path:
+            print(
+                f"journal flushed: {err.journal_path} "
+                f"({err.completed}/{err.total} units checkpointed)",
+                file=sys.stderr,
+            )
+        return 130
+    except CampaignError as err:
+        print(f"campaign aborted: {err}", file=sys.stderr)
+        if err.failure.bundle_path:
+            print(
+                f"reproduce with: python -m repro replay "
+                f"{err.failure.bundle_path}",
+                file=sys.stderr,
+            )
+        return 4
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -11,6 +11,10 @@
   work units (the parallel experiment engine).
 * :mod:`repro.experiments.cache` — content-addressed on-disk result
   cache keyed by config + seed + code version.
+* :mod:`repro.experiments.faults` — fault taxonomy, retry policy,
+  and completeness reporting for campaign execution.
+* :mod:`repro.experiments.journal` — append-only checkpoint journal
+  behind ``--resume``.
 * :mod:`repro.experiments.figures` — one entry point per paper
   figure, returning the data series the figure plots.
 * :mod:`repro.experiments.ascii_plot` — terminal rendering of series.
@@ -32,9 +36,27 @@ from repro.experiments.config import (
     WAN_GOOD_PERIOD,
     WAN_PACKET_SIZES,
 )
-from repro.experiments.runner import ReplicatedResult, run_replicated, sweep
-from repro.experiments.parallel import ParallelRunner, RunSummary
+from repro.experiments.runner import (
+    ReplicatedResult,
+    SweepCampaign,
+    run_replicated,
+    sweep,
+    sweep_campaign,
+)
+from repro.experiments.parallel import CampaignResult, ParallelRunner, RunSummary
 from repro.experiments.cache import ResultCache, config_digest, default_cache_dir
+from repro.experiments.faults import (
+    CampaignError,
+    CampaignInterrupted,
+    CompletenessReport,
+    RetryPolicy,
+    UnitFailure,
+    UnitQuarantined,
+    UnitTimeout,
+    WorkerCrashed,
+    merge_reports,
+)
+from repro.experiments.journal import CampaignJournal
 
 __all__ = [
     "ChannelConfig",
@@ -50,10 +72,23 @@ __all__ = [
     "WAN_GOOD_PERIOD",
     "WAN_PACKET_SIZES",
     "ReplicatedResult",
+    "SweepCampaign",
     "run_replicated",
     "sweep",
+    "sweep_campaign",
+    "CampaignResult",
     "ParallelRunner",
     "RunSummary",
+    "CampaignError",
+    "CampaignInterrupted",
+    "CompletenessReport",
+    "RetryPolicy",
+    "UnitFailure",
+    "UnitQuarantined",
+    "UnitTimeout",
+    "WorkerCrashed",
+    "merge_reports",
+    "CampaignJournal",
     "ResultCache",
     "config_digest",
     "default_cache_dir",

@@ -26,6 +26,7 @@ from repro.experiments.config import (
     wan_scenario,
 )
 from repro.experiments.cache import ResultCache
+from repro.experiments.journal import CampaignJournal
 from repro.experiments.runner import ReplicatedResult, run_replicated
 from repro.experiments.topology import ScenarioResult, Scheme, run_scenario
 from repro.metrics.theoretical import theoretical_throughput_bps
@@ -82,6 +83,10 @@ def _wan_packet_sweep(
     workers: Optional[int] = 1,
     cache: Optional[ResultCache] = None,
     validate: bool = False,
+    timeout: Optional[float] = None,
+    retries: Optional[int] = None,
+    fail_fast: bool = True,
+    journal: Optional[CampaignJournal] = None,
 ) -> Dict[float, SweepSeries]:
     series: Dict[float, SweepSeries] = {}
     for bad in bad_periods:
@@ -96,7 +101,8 @@ def _wan_packet_sweep(
             )
             curve.points[size] = run_replicated(
                 config, replications, workers=workers, cache=cache,
-                validate=validate,
+                validate=validate, timeout=timeout, retries=retries,
+                fail_fast=fail_fast, journal=journal,
             )
         series[bad] = curve
     return series
@@ -110,6 +116,10 @@ def figure_7(
     workers: Optional[int] = 1,
     cache: Optional[ResultCache] = None,
     validate: bool = False,
+    timeout: Optional[float] = None,
+    retries: Optional[int] = None,
+    fail_fast: bool = True,
+    journal: Optional[CampaignJournal] = None,
 ) -> Dict[float, SweepSeries]:
     """Fig 7: basic TCP throughput vs packet size, one curve per bad period."""
     return _wan_packet_sweep(
@@ -121,6 +131,10 @@ def figure_7(
         workers=workers,
         cache=cache,
         validate=validate,
+        timeout=timeout,
+        retries=retries,
+        fail_fast=fail_fast,
+        journal=journal,
     )
 
 
@@ -132,6 +146,10 @@ def figure_8(
     workers: Optional[int] = 1,
     cache: Optional[ResultCache] = None,
     validate: bool = False,
+    timeout: Optional[float] = None,
+    retries: Optional[int] = None,
+    fail_fast: bool = True,
+    journal: Optional[CampaignJournal] = None,
 ) -> Dict[float, SweepSeries]:
     """Fig 8: EBSN throughput vs packet size, one curve per bad period."""
     return _wan_packet_sweep(
@@ -143,6 +161,10 @@ def figure_8(
         workers=workers,
         cache=cache,
         validate=validate,
+        timeout=timeout,
+        retries=retries,
+        fail_fast=fail_fast,
+        journal=journal,
     )
 
 
@@ -154,6 +176,10 @@ def figure_9(
     workers: Optional[int] = 1,
     cache: Optional[ResultCache] = None,
     validate: bool = False,
+    timeout: Optional[float] = None,
+    retries: Optional[int] = None,
+    fail_fast: bool = True,
+    journal: Optional[CampaignJournal] = None,
 ) -> Dict[str, Dict[float, SweepSeries]]:
     """Fig 9: data retransmitted vs packet size — basic TCP vs EBSN."""
     return {
@@ -166,6 +192,10 @@ def figure_9(
             workers=workers,
             cache=cache,
             validate=validate,
+            timeout=timeout,
+            retries=retries,
+            fail_fast=fail_fast,
+            journal=journal,
         ),
         "ebsn": _wan_packet_sweep(
             Scheme.EBSN,
@@ -176,6 +206,10 @@ def figure_9(
             workers=workers,
             cache=cache,
             validate=validate,
+            timeout=timeout,
+            retries=retries,
+            fail_fast=fail_fast,
+            journal=journal,
         ),
     }
 
@@ -200,6 +234,10 @@ def _lan_bad_sweep(
     workers: Optional[int] = 1,
     cache: Optional[ResultCache] = None,
     validate: bool = False,
+    timeout: Optional[float] = None,
+    retries: Optional[int] = None,
+    fail_fast: bool = True,
+    journal: Optional[CampaignJournal] = None,
 ) -> SweepSeries:
     curve = SweepSeries(label=scheme.value)
     for bad in bad_periods:
@@ -208,7 +246,8 @@ def _lan_bad_sweep(
         )
         curve.points[bad] = run_replicated(
             config, replications, workers=workers, cache=cache,
-            validate=validate,
+            validate=validate, timeout=timeout, retries=retries,
+            fail_fast=fail_fast, journal=journal,
         )
     return curve
 
@@ -220,6 +259,10 @@ def figure_10(
     workers: Optional[int] = 1,
     cache: Optional[ResultCache] = None,
     validate: bool = False,
+    timeout: Optional[float] = None,
+    retries: Optional[int] = None,
+    fail_fast: bool = True,
+    journal: Optional[CampaignJournal] = None,
 ) -> Dict[str, SweepSeries]:
     """Fig 10: LAN throughput vs bad period — basic vs EBSN (+ tput_th)."""
     bads = bad_periods or LAN_BAD_PERIODS
@@ -227,10 +270,14 @@ def figure_10(
         "basic": _lan_bad_sweep(
             Scheme.BASIC, bads, replications, transfer_bytes,
             workers=workers, cache=cache, validate=validate,
+            timeout=timeout, retries=retries, fail_fast=fail_fast,
+            journal=journal,
         ),
         "ebsn": _lan_bad_sweep(
             Scheme.EBSN, bads, replications, transfer_bytes,
             workers=workers, cache=cache, validate=validate,
+            timeout=timeout, retries=retries, fail_fast=fail_fast,
+            journal=journal,
         ),
     }
 
@@ -242,11 +289,16 @@ def figure_11(
     workers: Optional[int] = 1,
     cache: Optional[ResultCache] = None,
     validate: bool = False,
+    timeout: Optional[float] = None,
+    retries: Optional[int] = None,
+    fail_fast: bool = True,
+    journal: Optional[CampaignJournal] = None,
 ) -> Dict[str, SweepSeries]:
     """Fig 11: LAN data retransmitted vs bad period — basic vs EBSN."""
     return figure_10(
         replications, bad_periods, transfer_bytes, workers=workers, cache=cache,
-        validate=validate,
+        validate=validate, timeout=timeout, retries=retries,
+        fail_fast=fail_fast, journal=journal,
     )
 
 

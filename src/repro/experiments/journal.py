@@ -1,0 +1,181 @@
+"""Campaign checkpoint journal: crash-safe resume for sweeps.
+
+A journal is an append-only JSONL file recording every completed work
+unit of a campaign — its content-addressed key (the same
+(config, seed, code-version) digest the result cache uses) and its
+pickled :class:`~repro.experiments.parallel.RunSummary`.  Each record
+is flushed and fsynced the moment the unit finishes, so the file is
+exactly as durable as the work it describes: kill the process at any
+instant and everything already journaled replays for free.
+
+``repro sweep --resume camp.journal`` (or passing a
+:class:`CampaignJournal` to the runner/``sweep``/``run_replicated``)
+consults the journal before simulating: units whose key is present
+are loaded, everything else runs and is appended.  Because keys embed
+the code-version token, a journal written by older code simply stops
+matching after an edit — stale entries are inert, never wrong.
+
+Layout (one JSON object per line)::
+
+    {"kind": "header", "format": 1, "code": "<token>"}
+    {"kind": "unit", "key": "<digest>", "summary": "<base64 pickle>"}
+    {"kind": "failure", "key": ..., "fault": "timeout", ...}
+
+A torn final line (the writer died mid-append) is tolerated and
+ignored on load.  Failure records are informational — a failed unit
+is *not* treated as done, so a resume retries it.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import logging
+import os
+import pickle
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.experiments.cache import code_version_token, config_digest
+from repro.experiments.faults import UnitFailure
+
+_log = logging.getLogger(__name__)
+
+#: Bump when the journal layout changes incompatibly.
+JOURNAL_FORMAT = 1
+
+
+class CampaignJournal:
+    """Append-only checkpoint file for one (or more) campaigns.
+
+    Opening is create-or-resume: an existing file is scanned and its
+    completed units become immediately available through :meth:`get`;
+    a missing file is created with a header line.  The journal object
+    is also an append handle — :meth:`record` makes one unit durable.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        self._entries: Dict[str, Any] = {}
+        self._code_token = code_version_token()
+        self.stale_entries = 0
+        self.torn_lines = 0
+        self._load_existing()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = self.path.open("a", encoding="utf-8")
+        if self.path.stat().st_size == 0:
+            self._append(
+                {
+                    "kind": "header",
+                    "format": JOURNAL_FORMAT,
+                    "code": self._code_token,
+                }
+            )
+
+    # -- reading -----------------------------------------------------------
+
+    def _load_existing(self) -> None:
+        if not self.path.is_file():
+            return
+        file_token: Optional[str] = None
+        for line in self.path.read_text(encoding="utf-8").splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                # The writer died mid-append; everything before the
+                # torn line is intact and usable.
+                self.torn_lines += 1
+                continue
+            kind = record.get("kind")
+            if kind == "header":
+                file_token = record.get("code")
+                if record.get("format") != JOURNAL_FORMAT:
+                    _log.warning(
+                        "journal %s has format %r (expected %d); entries "
+                        "ignored",
+                        self.path,
+                        record.get("format"),
+                        JOURNAL_FORMAT,
+                    )
+                    return
+            elif kind == "unit":
+                try:
+                    summary = pickle.loads(
+                        base64.b64decode(record["summary"])
+                    )
+                except Exception:
+                    self.torn_lines += 1
+                    continue
+                self._entries[record["key"]] = summary
+            # "failure" records are informational only: the unit is
+            # not done, so a resume will retry it.
+        if file_token is not None and file_token != self._code_token:
+            # Keys embed the code token, so these entries can never
+            # match a current key — say so rather than silently
+            # re-simulating everything.
+            self.stale_entries = len(self._entries)
+            _log.warning(
+                "journal %s was written by a different code version; its "
+                "%d completed unit(s) will not match and will re-run",
+                self.path,
+                len(self._entries),
+            )
+
+    def key(self, config: Any) -> str:
+        """Digest for ``config`` — identical to the result cache's key."""
+        return config_digest(config, self._code_token)
+
+    def get(self, key: str) -> Optional[Any]:
+        """The journaled summary for ``key``, or ``None``."""
+        return self._entries.get(key)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- writing -----------------------------------------------------------
+
+    def _append(self, record: Dict[str, Any]) -> None:
+        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def record(self, key: str, summary: Any) -> None:
+        """Journal one completed unit, durably, right now."""
+        self._entries[key] = summary
+        self._append(
+            {
+                "kind": "unit",
+                "key": key,
+                "summary": base64.b64encode(
+                    pickle.dumps(summary, protocol=pickle.HIGHEST_PROTOCOL)
+                ).decode("ascii"),
+            }
+        )
+
+    def record_failure(self, failure: UnitFailure) -> None:
+        """Journal a quarantined unit (informational; resume retries it)."""
+        self._append(
+            {
+                "kind": "failure",
+                "key": failure.key,
+                "fault": failure.kind,
+                "seed": failure.seed,
+                "scheme": failure.scheme,
+                "attempts": failure.attempts,
+                "message": failure.message,
+            }
+        )
+
+    def close(self) -> None:
+        """Close the append handle (reads keep working)."""
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "CampaignJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

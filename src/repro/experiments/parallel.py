@@ -1,36 +1,87 @@
-"""Parallel experiment engine: fan seeds out over a process pool.
+"""Parallel experiment engine: fault-tolerant fan-out over worker processes.
 
 Every figure in the paper is an average over independent seeds, and
 every seed is an independent single-threaded simulation — an
 embarrassingly parallel workload.  :class:`ParallelRunner` takes a
 list of fully-seeded :class:`~repro.experiments.topology.ScenarioConfig`
-work units, consults an optional :class:`~repro.experiments.cache.ResultCache`,
-and dispatches only the cache misses over a
-``concurrent.futures.ProcessPoolExecutor`` (fork start method; falls
-back to in-process serial execution when ``workers <= 1``, when there
-is at most one miss, or when the platform cannot fork).
+work units, consults an optional
+:class:`~repro.experiments.cache.ResultCache` and
+:class:`~repro.experiments.journal.CampaignJournal`, and dispatches
+only the remaining misses one unit at a time over a supervised pool
+of forked worker processes.
+
+The supervision layer is what makes long campaigns survivable:
+
+* **Per-unit submission** — each unit is sent to a worker and its
+  result collected individually, so one bad unit can never poison a
+  batch the way a chunked ``pool.map`` does.
+* **Watchdogs** — a unit gets a wall-clock budget (``timeout``).  The
+  worker aborts cooperatively via the engine watchdog
+  (:class:`~repro.engine.simulator.WallClockExceeded`) and writes a
+  replay bundle naming the hung config; if the worker itself is stuck
+  (not even reaching the watchdog), the supervisor SIGKILLs it after
+  a grace period and respawns a fresh one.
+* **Retry with backoff** — timeouts and worker crashes are retried up
+  to :class:`~repro.experiments.faults.RetryPolicy.max_retries` times
+  with exponential backoff and full jitter; deterministic unit errors
+  are never retried.
+* **Quarantine / graceful degradation** — a unit that fails every
+  attempt is recorded as a structured
+  :class:`~repro.experiments.faults.UnitFailure` and the campaign
+  continues (``fail_fast=False``) or aborts with a taxonomy exception
+  (``fail_fast=True``, the library default).
+* **Durability** — every completed summary is written to the cache
+  and journal the moment it lands, and SIGINT/SIGTERM raise
+  :class:`~repro.experiments.faults.CampaignInterrupted` after
+  flushing, so an interrupted campaign resumes instead of restarting.
 
 Workers return :class:`RunSummary` — a small picklable record of the
-metrics the aggregation layer reads — rather than the full
-:class:`~repro.experiments.topology.ScenarioResult`, whose live
-sender/sink/link objects are neither picklable nor needed for
-replicated statistics.  Results come back in input order, so the
-aggregates downstream are bit-identical to a serial run over the same
-seeds.
+metrics the aggregation layer reads.  Results come back in input
+order, so the aggregates downstream are bit-identical to a serial run
+over the same seeds, faults or no faults.
 """
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
+import multiprocessing.connection
 import os
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
-from typing import Iterator, List, Optional, Sequence
+import pickle
+import signal
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.engine.simulator import WallClockExceeded
 from repro.experiments import topology
 from repro.experiments.cache import ResultCache
+from repro.experiments.faults import (
+    FAULT_CRASH,
+    FAULT_ERROR,
+    FAULT_TIMEOUT,
+    CampaignInterrupted,
+    CompletenessReport,
+    RetryPolicy,
+    UnitFailure,
+    UnitQuarantined,
+)
+from repro.experiments.journal import CampaignJournal
 from repro.experiments.topology import ScenarioConfig, ScenarioResult
 from repro.metrics import ConnectionMetrics
+
+_log = logging.getLogger(__name__)
+
+#: The supervisor hard-kills a worker this long after the cooperative
+#: in-worker watchdog should have fired: ``timeout * factor + slack``.
+HARD_KILL_FACTOR = 1.5
+HARD_KILL_SLACK = 1.0
+
+#: Poll granularity of the supervision loop, seconds.  Bounds how
+#: stale the watchdog/interrupt checks can get; results themselves
+#: wake the loop immediately.
+POLL_INTERVAL = 0.05
 
 
 @dataclass(frozen=True)
@@ -62,24 +113,34 @@ def summarize(result: ScenarioResult) -> RunSummary:
     )
 
 
-def _execute_unit(config: ScenarioConfig) -> RunSummary:
+def _execute_unit(
+    config: ScenarioConfig, wall_timeout: Optional[float] = None
+) -> RunSummary:
     """Worker entry point: run one seeded config, return its summary.
 
-    Module-level (not a closure) so the process pool can pickle it;
+    Module-level (not a closure) so worker processes can pickle it;
     looked up through :mod:`repro.experiments.topology` at call time so
     tests can monkeypatch ``run_scenario`` and count invocations.
+    ``wall_timeout`` arms the engine's cooperative watchdog.
     """
-    return summarize(topology.run_scenario(config))
+    if wall_timeout is None:
+        return summarize(topology.run_scenario(config))
+    return summarize(topology.run_scenario(config, wall_timeout=wall_timeout))
 
 
-def _execute_unit_validated(config: ScenarioConfig) -> RunSummary:
+def _execute_unit_validated(
+    config: ScenarioConfig, wall_timeout: Optional[float] = None
+) -> RunSummary:
     """Worker entry point with the invariant engine attached.
 
     A violation raises :class:`~repro.validate.InvariantViolationError`
     in the worker; the error (with its replay-bundle path) pickles
-    back through the pool and aborts the batch.
+    back to the supervisor, which treats it as a deterministic unit
+    error (never retried).
     """
-    return summarize(topology.run_scenario(config, validate=True))
+    return summarize(
+        topology.run_scenario(config, validate=True, wall_timeout=wall_timeout)
+    )
 
 
 def resolve_workers(workers: Optional[int]) -> int:
@@ -106,8 +167,178 @@ def _fork_context() -> Optional[multiprocessing.context.BaseContext]:
     return multiprocessing.get_context("fork")
 
 
+def _write_hang_bundle(config: ScenarioConfig, elapsed: float) -> Optional[str]:
+    """Record a timed-out config as a replay bundle; best-effort.
+
+    The bundle names the exact (config, seed, code) point that hung,
+    so ``repro replay <bundle>`` reproduces the runaway run under a
+    debugger instead of leaving "it timed out once" unactionable.
+    """
+    try:
+        from repro.validate.bundle import write_bundle
+        from repro.validate.engine import Violation
+
+        violation = Violation(
+            checker="watchdog",
+            time=elapsed,
+            message=f"unit exceeded its wall-clock budget after {elapsed:.2f}s",
+        )
+        return str(write_bundle(config, [violation], log=None))
+    except Exception:  # pragma: no cover - bundle dir unwritable etc.
+        return None
+
+
+@dataclass
+class _RemoteError:
+    """A worker exception that could not be pickled whole."""
+
+    type_name: str
+    message: str
+
+
+def _portable_error(exc: BaseException):
+    """``exc`` itself when it pickles, else a :class:`_RemoteError`."""
+    try:
+        pickle.dumps(exc)
+        return exc
+    except Exception:
+        return _RemoteError(type(exc).__name__, str(exc))
+
+
+def _worker_main(conn, unit_fn) -> None:
+    """Worker process loop: receive a unit, run it, send the outcome.
+
+    SIGINT is ignored (the terminal delivers Ctrl-C to the whole
+    process group; shutdown is the supervisor's decision, via a
+    ``None`` sentinel or SIGKILL).  Messages are tagged tuples::
+
+        ("ok",      index, summary)
+        ("timeout", index, message, bundle_path)
+        ("err",     index, exception_or_remote_error)
+    """
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    while True:
+        try:
+            task = conn.recv()
+        except (EOFError, OSError):
+            break
+        if task is None:
+            break
+        index, config, wall_timeout = task
+        started = time.monotonic()
+        try:
+            summary = unit_fn(config, wall_timeout)
+            message: Tuple = ("ok", index, summary)
+        except WallClockExceeded:
+            bundle = _write_hang_bundle(config, time.monotonic() - started)
+            message = (
+                "timeout",
+                index,
+                f"wall-clock budget of {wall_timeout:g}s exceeded",
+                bundle,
+            )
+        except BaseException as exc:
+            message = ("err", index, _portable_error(exc))
+        try:
+            conn.send(message)
+        except (BrokenPipeError, OSError):  # pragma: no cover - parent died
+            break
+
+
+@dataclass
+class _Task:
+    """Supervisor-side state of one work unit."""
+
+    index: int  #: position in the campaign's config list
+    config: ScenarioConfig
+    key: Optional[str]
+    attempts: int = 0  #: executions consumed so far
+    errors: List[str] = field(default_factory=list)
+    not_before: float = 0.0  #: monotonic time the next attempt may start
+    bundle_path: Optional[str] = None
+
+
+def _pop_ready(pending: "deque[_Task]", now: float) -> Optional[_Task]:
+    """Remove and return the first task whose backoff has elapsed."""
+    for i, task in enumerate(pending):
+        if task.not_before <= now:
+            del pending[i]
+            return task
+    return None
+
+
+class _WorkerHandle:
+    """One supervised worker process and its duplex pipe."""
+
+    def __init__(self, context, unit_fn) -> None:
+        self.conn, child_conn = multiprocessing.Pipe()
+        self.process = context.Process(
+            target=_worker_main, args=(child_conn, unit_fn), daemon=True
+        )
+        self.process.start()
+        child_conn.close()
+        self.task: Optional[_Task] = None
+        self.started_at: float = 0.0
+
+    def assign(self, task: _Task, wall_timeout: Optional[float]) -> None:
+        self.task = task
+        self.started_at = time.monotonic()
+        self.conn.send((task.index, task.config, wall_timeout))
+
+    def overdue(self, hard_timeout: Optional[float]) -> bool:
+        """True when the current unit blew even the hard-kill deadline."""
+        return (
+            self.task is not None
+            and hard_timeout is not None
+            and time.monotonic() - self.started_at > hard_timeout
+        )
+
+    def kill(self) -> None:
+        """SIGKILL the worker and reap it."""
+        try:
+            self.process.kill()
+            self.process.join()
+        finally:
+            self.conn.close()
+
+    def stop(self) -> None:
+        """Graceful shutdown: sentinel, short join, then kill."""
+        try:
+            self.conn.send(None)
+        except (BrokenPipeError, OSError):
+            pass
+        self.process.join(timeout=1.0)
+        if self.process.is_alive():  # pragma: no cover - stuck worker
+            self.process.kill()
+            self.process.join()
+        self.conn.close()
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of one campaign: ordered summaries plus completeness.
+
+    ``summaries[i]`` is ``None`` exactly when unit ``i`` was
+    quarantined; ``report.quarantined`` says why.
+    """
+
+    summaries: List[Optional[RunSummary]]
+    report: CompletenessReport
+
+    def require_complete(self) -> List[RunSummary]:
+        """All summaries, or the first quarantined unit's exception."""
+        if self.report.quarantined:
+            raise self.report.quarantined[0].to_exception()
+        assert all(s is not None for s in self.summaries)
+        return self.summaries  # type: ignore[return-value]
+
+    def surviving(self) -> List[RunSummary]:
+        """The summaries that completed (graceful-degradation view)."""
+        return [s for s in self.summaries if s is not None]
+
+
 class ParallelRunner:
-    """Runs batches of seeded scenario configs, cached then parallel.
+    """Runs batches of seeded scenario configs with fault tolerance.
 
     Parameters
     ----------
@@ -115,80 +346,429 @@ class ParallelRunner:
         Process count.  ``1`` (default) runs in-process; ``0`` means
         one per CPU.
     cache:
-        Optional :class:`ResultCache`; hits skip simulation entirely.
-    chunk_size:
-        Work units per pool task.  Default: enough to give each worker
-        ~4 chunks, which amortizes pickling without starving the tail.
+        Optional :class:`ResultCache`; hits skip simulation entirely
+        and fresh results are written back per unit, immediately.
     validate:
         Run every simulated unit under the invariant engine
         (:mod:`repro.validate`).  Cache hits skip simulation and are
         therefore not re-validated.
+    timeout:
+        Per-unit wall-clock budget in seconds; ``None`` disables the
+        watchdogs.  In pool mode a unit that overshoots is aborted
+        cooperatively (or its worker hard-killed at
+        ``timeout * 1.5 + 1`` as a backstop); in serial mode only the
+        cooperative engine watchdog applies.
+    retry:
+        :class:`RetryPolicy` for timeouts and worker crashes.
+        ``None`` uses the defaults (2 retries, exponential backoff
+        with full jitter).
+    fail_fast:
+        When ``True`` (default) the first quarantined unit aborts the
+        campaign with its taxonomy exception; when ``False`` the
+        campaign degrades gracefully to partial results plus a
+        completeness report.
+    journal:
+        Optional :class:`CampaignJournal`.  Completed units are
+        journaled immediately and journaled units are skipped, which
+        is what ``--resume`` builds on.
     """
 
     def __init__(
         self,
         workers: Optional[int] = 1,
         cache: Optional[ResultCache] = None,
-        chunk_size: Optional[int] = None,
         validate: bool = False,
+        timeout: Optional[float] = None,
+        retry: Optional[RetryPolicy] = None,
+        fail_fast: bool = True,
+        journal: Optional[CampaignJournal] = None,
     ) -> None:
         self.workers = resolve_workers(workers)
         self.cache = cache
-        self.chunk_size = chunk_size
         self.validate = validate
+        self.timeout = timeout
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.fail_fast = fail_fast
+        self.journal = journal
 
     @property
     def _unit(self):
         return _execute_unit_validated if self.validate else _execute_unit
 
-    def _run_serial(self, configs: Sequence[ScenarioConfig]) -> List[RunSummary]:
-        return [self._unit(config) for config in configs]
+    # -- key/bookkeeping helpers ------------------------------------------
 
-    def _run_pool(self, configs: Sequence[ScenarioConfig]) -> Iterator[RunSummary]:
+    def _key(self, config: ScenarioConfig) -> Optional[str]:
+        if self.cache is not None:
+            return self.cache.key(config)
+        if self.journal is not None:
+            return self.journal.key(config)
+        return None
+
+    def _fail(self, task: _Task, kind: str, message: str) -> UnitFailure:
+        return UnitFailure(
+            index=task.index,
+            key=task.key,
+            seed=task.config.seed,
+            scheme=task.config.scheme.value,
+            kind=kind,
+            message=message,
+            attempts=task.attempts,
+            bundle_path=task.bundle_path,
+        )
+
+    def _quarantine(
+        self, task: _Task, kind: str, message: str, failures: Dict[int, UnitFailure]
+    ) -> None:
+        """Record a unit that failed for good; raise in fail-fast mode."""
+        failure = self._fail(task, kind, message)
+        if self.journal is not None:
+            self.journal.record_failure(failure)
+        if self.fail_fast:
+            raise failure.to_exception()
+        _log.warning("quarantined: %s", failure.describe())
+        failures[task.index] = failure
+
+    def _retry_or_quarantine(
+        self,
+        task: _Task,
+        kind: str,
+        message: str,
+        pending: "deque[_Task]",
+        failures: Dict[int, UnitFailure],
+    ) -> bool:
+        """Requeue a retryable fault with backoff, or quarantine it.
+
+        Returns True when the task was requeued.
+        """
+        task.errors.append(f"attempt {task.attempts}: {kind}: {message}")
+        if task.attempts <= self.retry.max_retries:
+            delay = self.retry.delay(task.attempts - 1, task.key or str(task.index))
+            task.not_before = time.monotonic() + delay
+            _log.warning(
+                "unit %d (seed %d): %s — retry %d/%d in %.2fs",
+                task.index,
+                task.config.seed,
+                kind,
+                task.attempts,
+                self.retry.max_retries,
+                delay,
+            )
+            pending.append(task)
+            return True
+        self._quarantine(task, kind, "; ".join(task.errors), failures)
+        return False
+
+    # -- execution paths ---------------------------------------------------
+
+    def _run_serial(
+        self,
+        tasks: List[_Task],
+        deliver: Callable[[int, RunSummary], None],
+        interrupted: Dict[str, Optional[int]],
+        completed: Callable[[], int],
+        total: int,
+    ) -> Dict[int, UnitFailure]:
+        """In-process execution with the same fault semantics as the pool.
+
+        Crashes cannot happen here (no worker processes); timeouts are
+        enforced by the engine's cooperative watchdog only.
+        """
+        pending = deque(tasks)
+        failures: Dict[int, UnitFailure] = {}
+        while pending:
+            if interrupted["sig"] is not None:
+                raise CampaignInterrupted(
+                    interrupted["sig"],
+                    completed(),
+                    total,
+                    str(self.journal.path) if self.journal else None,
+                )
+            task = pending.popleft()
+            wait = task.not_before - time.monotonic()
+            if wait > 0:
+                time.sleep(min(wait, POLL_INTERVAL))
+                pending.appendleft(task)
+                continue
+            task.attempts += 1
+            started = time.monotonic()
+            try:
+                summary = self._unit(task.config, self.timeout)
+            except WallClockExceeded:
+                task.bundle_path = _write_hang_bundle(
+                    task.config, time.monotonic() - started
+                )
+                self._retry_or_quarantine(
+                    task,
+                    FAULT_TIMEOUT,
+                    f"wall-clock budget of {self.timeout:g}s exceeded",
+                    pending,
+                    failures,
+                )
+                continue
+            except KeyboardInterrupt:
+                raise CampaignInterrupted(
+                    signal.SIGINT,
+                    completed(),
+                    total,
+                    str(self.journal.path) if self.journal else None,
+                )
+            except Exception as exc:
+                if self.fail_fast:
+                    raise
+                self._quarantine(
+                    task, FAULT_ERROR, f"{type(exc).__name__}: {exc}", failures
+                )
+                continue
+            deliver(task.index, summary)
+        return failures
+
+    def _run_supervised(
+        self,
+        tasks: List[_Task],
+        deliver: Callable[[int, RunSummary], None],
+        interrupted: Dict[str, Optional[int]],
+        completed: Callable[[], int],
+        total: int,
+    ) -> Dict[int, UnitFailure]:
+        """Supervised pool: per-unit dispatch, watchdogs, retry, respawn."""
         context = _fork_context()
-        if context is None:
-            yield from self._run_serial(configs)
-            return
-        workers = min(self.workers, len(configs))
-        chunk = self.chunk_size
-        if chunk is None:
-            chunk = max(1, len(configs) // (workers * 4))
-        with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
-            yield from pool.map(self._unit, configs, chunksize=chunk)
+        assert context is not None  # dispatch guarantees this
+        hard_timeout = (
+            self.timeout * HARD_KILL_FACTOR + HARD_KILL_SLACK
+            if self.timeout is not None
+            else None
+        )
+        pending = deque(tasks)
+        failures: Dict[int, UnitFailure] = {}
+        n_workers = min(self.workers, len(tasks))
+        workers = [_WorkerHandle(context, self._unit) for _ in range(n_workers)]
 
-    def run(self, configs: Sequence[ScenarioConfig]) -> List[RunSummary]:
-        """Run every config, in input order, via cache then pool.
+        def outstanding() -> int:
+            return len(pending) + sum(1 for w in workers if w.task is not None)
 
-        Only cache misses are simulated; fresh results are written back
-        so the next invocation of the same suite is pure cache reads.
+        try:
+            while outstanding():
+                if interrupted["sig"] is not None:
+                    raise CampaignInterrupted(
+                        interrupted["sig"],
+                        completed(),
+                        total,
+                        str(self.journal.path) if self.journal else None,
+                    )
+                now = time.monotonic()
+                # Hand ready units to idle workers (skipping tasks
+                # still inside their backoff window).
+                for worker in workers:
+                    if worker.task is None and pending:
+                        task = _pop_ready(pending, now)
+                        if task is None:
+                            break  # everything pending is backing off
+                        task.attempts += 1
+                        worker.assign(task, self.timeout)
+                busy = [w for w in workers if w.task is not None]
+                if not busy:
+                    time.sleep(POLL_INTERVAL)
+                    continue
+                # Wake on a result, a worker death, or the poll tick.
+                multiprocessing.connection.wait(
+                    [w.conn for w in busy] + [w.process.sentinel for w in busy],
+                    timeout=POLL_INTERVAL,
+                )
+                for worker in busy:
+                    if worker.task is None:
+                        continue
+                    if worker.conn.poll():
+                        try:
+                            message = worker.conn.recv()
+                        except (EOFError, OSError):
+                            # A dead worker's pipe polls readable (EOF).
+                            self._on_crash(
+                                worker, workers, context, pending, failures
+                            )
+                            continue
+                        self._on_message(
+                            worker, message, deliver, pending, failures
+                        )
+                    elif not worker.process.is_alive():
+                        self._on_crash(worker, workers, context, pending, failures)
+                    elif worker.overdue(hard_timeout):
+                        self._on_hard_timeout(
+                            worker, workers, context, pending, failures
+                        )
+        finally:
+            for worker in workers:
+                if worker.process.is_alive() and worker.task is None:
+                    worker.stop()
+                else:
+                    worker.kill()
+        return failures
+
+    def _on_message(self, worker, message, deliver, pending, failures) -> None:
+        task = worker.task
+        worker.task = None
+        kind = message[0]
+        if kind == "ok":
+            deliver(task.index, message[2])
+        elif kind == "timeout":
+            task.bundle_path = message[3]
+            self._retry_or_quarantine(
+                task, FAULT_TIMEOUT, message[2], pending, failures
+            )
+        else:  # "err": deterministic unit failure — never retried
+            error = message[2]
+            if self.fail_fast:
+                if isinstance(error, BaseException):
+                    raise error
+                raise UnitQuarantined(
+                    self._fail(
+                        task, FAULT_ERROR, f"{error.type_name}: {error.message}"
+                    )
+                )
+            detail = (
+                f"{type(error).__name__}: {error}"
+                if isinstance(error, BaseException)
+                else f"{error.type_name}: {error.message}"
+            )
+            self._quarantine(task, FAULT_ERROR, detail, failures)
+
+    def _respawn(self, worker, workers, context) -> None:
+        """Replace a dead/killed worker in place."""
+        workers[workers.index(worker)] = _WorkerHandle(context, self._unit)
+
+    def _on_crash(self, worker, workers, context, pending, failures) -> None:
+        task = worker.task
+        worker.task = None
+        worker.process.join(timeout=1.0)  # reap so exitcode is real
+        exitcode = worker.process.exitcode
+        worker.kill()  # reap + close the pipe
+        self._respawn(worker, workers, context)
+        self._retry_or_quarantine(
+            task,
+            FAULT_CRASH,
+            f"worker process died (exit code {exitcode})",
+            pending,
+            failures,
+        )
+
+    def _on_hard_timeout(self, worker, workers, context, pending, failures) -> None:
+        task = worker.task
+        worker.task = None
+        worker.kill()
+        self._respawn(worker, workers, context)
+        if task.bundle_path is None:
+            task.bundle_path = _write_hang_bundle(
+                task.config, time.monotonic() - worker.started_at
+            )
+        self._retry_or_quarantine(
+            task,
+            FAULT_TIMEOUT,
+            f"worker unresponsive past the hard deadline "
+            f"({self.timeout:g}s budget); killed",
+            pending,
+            failures,
+        )
+
+    # -- campaign orchestration -------------------------------------------
+
+    def run_campaign(self, configs: Sequence[ScenarioConfig]) -> CampaignResult:
+        """Run every config with full fault handling.
+
+        Returns a :class:`CampaignResult`: summaries in input order
+        (``None`` for quarantined units) and a
+        :class:`~repro.experiments.faults.CompletenessReport`.
+        Completed units are written to the cache/journal the moment
+        they land, so any crash or interrupt preserves them.
         """
         configs = list(configs)
-        if not configs:
-            return []
-        summaries: List[Optional[RunSummary]] = [None] * len(configs)
-        miss_indices: List[int] = []
-        keys: List[Optional[str]] = [None] * len(configs)
-        if self.cache is not None:
-            for i, config in enumerate(configs):
-                keys[i] = self.cache.key(config)
+        n = len(configs)
+        summaries: List[Optional[RunSummary]] = [None] * n
+        keys: List[Optional[str]] = [None] * n
+        from_cache = from_journal = 0
+        tasks: List[_Task] = []
+        for i, config in enumerate(configs):
+            keys[i] = self._key(config)
+            if self.cache is not None:
                 summaries[i] = self.cache.get(keys[i])
-                if summaries[i] is None:
-                    miss_indices.append(i)
-        else:
-            miss_indices = list(range(len(configs)))
+                if summaries[i] is not None:
+                    from_cache += 1
+                    continue
+            if self.journal is not None:
+                summaries[i] = self.journal.get(keys[i])
+                if summaries[i] is not None:
+                    from_journal += 1
+                    # Promote journal hits into the cache: the journal
+                    # is per-campaign, the cache lives on.
+                    if self.cache is not None:
+                        self.cache.put(keys[i], summaries[i])
+                    continue
+            tasks.append(_Task(index=i, config=config, key=keys[i]))
 
-        if miss_indices:
-            miss_configs = [configs[i] for i in miss_indices]
-            if self.workers <= 1 or len(miss_configs) <= 1:
-                fresh = (self._unit(config) for config in miss_configs)
-            else:
-                fresh = self._run_pool(miss_configs)
-            # Write each summary back the moment it lands: a crash
-            # mid-batch must not discard the units already finished.
-            for i, summary in zip(miss_indices, fresh):
-                summaries[i] = summary
-                if self.cache is not None and keys[i] is not None:
-                    self.cache.put(keys[i], summary)
+        def deliver(index: int, summary: RunSummary) -> None:
+            summaries[index] = summary
+            if self.cache is not None and keys[index] is not None:
+                self.cache.put(keys[index], summary)
+            if self.journal is not None:
+                self.journal.record(keys[index], summary)
 
-        assert all(s is not None for s in summaries)
-        return summaries  # type: ignore[return-value]
+        def completed() -> int:
+            return sum(1 for s in summaries if s is not None)
+
+        failures: Dict[int, UnitFailure] = {}
+        if tasks:
+            interrupted: Dict[str, Optional[int]] = {"sig": None}
+
+            def _flag(signum, frame):
+                interrupted["sig"] = signum
+
+            previous: List[Tuple[int, object]] = []
+            try:
+                for signum in (signal.SIGINT, signal.SIGTERM):
+                    previous.append((signum, signal.signal(signum, _flag)))
+            except ValueError:
+                # Not the main thread: signals stay with their owner.
+                pass
+            try:
+                if self.workers > 1 and len(tasks) > 1:
+                    if _fork_context() is None:
+                        _log.warning(
+                            "fork start method unavailable: running %d "
+                            "unit(s) serially despite --workers %d "
+                            "(spawn would re-import the package per "
+                            "worker; hard-kill watchdogs disabled)",
+                            len(tasks),
+                            self.workers,
+                        )
+                        failures = self._run_serial(
+                            tasks, deliver, interrupted, completed, n
+                        )
+                    else:
+                        failures = self._run_supervised(
+                            tasks, deliver, interrupted, completed, n
+                        )
+                else:
+                    failures = self._run_serial(
+                        tasks, deliver, interrupted, completed, n
+                    )
+            finally:
+                for signum, handler in previous:
+                    signal.signal(signum, handler)
+
+        report = CompletenessReport(
+            total=n,
+            completed=completed(),
+            from_cache=from_cache,
+            from_journal=from_journal,
+            quarantined=tuple(
+                failures[i] for i in sorted(failures)
+            ),
+        )
+        return CampaignResult(summaries=summaries, report=report)
+
+    def run(self, configs: Sequence[ScenarioConfig]) -> List[RunSummary]:
+        """Run every config, in input order; raise on any quarantine.
+
+        The strict interface: callers that cannot use partial results
+        get the first failure as its taxonomy exception.  Use
+        :meth:`run_campaign` for graceful degradation.
+        """
+        return self.run_campaign(configs).require_complete()

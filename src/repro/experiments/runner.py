@@ -11,15 +11,28 @@ optional :class:`~repro.experiments.cache.ResultCache` to skip points
 that were already simulated under the current code version.  The
 aggregates are bit-identical whichever path executes them — same
 seeds, same per-seed metrics, same reduction order.
+
+Both are also fault-tolerant (see :mod:`repro.experiments.faults`):
+``timeout`` bounds each seed in wall-clock seconds, ``retries`` bounds
+how often a timed-out/crashed seed is re-run, ``journal`` checkpoints
+completed seeds for ``--resume``, and ``fail_fast=False`` degrades to
+*partial* aggregates — the surviving seeds are averaged and every
+missing one is enumerated in the result's ``failures``/``report``.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, replace
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, TypeVar
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, TypeVar
 
 from repro.experiments.cache import ResultCache
+from repro.experiments.faults import (
+    CompletenessReport,
+    RetryPolicy,
+    UnitFailure,
+)
+from repro.experiments.journal import CampaignJournal
 from repro.experiments.parallel import ParallelRunner, RunSummary
 from repro.experiments.topology import ScenarioConfig
 
@@ -44,7 +57,13 @@ def t95(dof: int) -> float:
 
 @dataclass(frozen=True)
 class ReplicatedResult:
-    """Aggregate of one configuration over several seeds."""
+    """Aggregate of one configuration over several seeds.
+
+    ``replications`` counts the seeds that actually contributed; when
+    a campaign degraded gracefully, ``failures`` lists every
+    quarantined seed and ``partial`` is True.  Full-fidelity results
+    have an empty ``failures`` tuple, as before.
+    """
 
     config: ScenarioConfig
     replications: int
@@ -56,6 +75,18 @@ class ReplicatedResult:
     duration_mean: float
     tput_th_bps: float
     results: tuple
+    failures: Tuple[UnitFailure, ...] = ()
+    report: Optional[CompletenessReport] = None
+
+    @property
+    def partial(self) -> bool:
+        """True when quarantined seeds are missing from the averages."""
+        return bool(self.failures)
+
+    @property
+    def attempted(self) -> int:
+        """Seeds requested: contributors plus quarantined."""
+        return self.replications + len(self.failures)
 
     @property
     def throughput_kbps(self) -> float:
@@ -115,7 +146,10 @@ def _seeded_configs(
 
 
 def _aggregate(
-    config: ScenarioConfig, summaries: Sequence[RunSummary]
+    config: ScenarioConfig,
+    summaries: Sequence[RunSummary],
+    failures: Tuple[UnitFailure, ...] = (),
+    report: Optional[CompletenessReport] = None,
 ) -> ReplicatedResult:
     """Reduce per-seed summaries to one :class:`ReplicatedResult`."""
     for summary in summaries:
@@ -140,6 +174,30 @@ def _aggregate(
         duration_mean=_mean([r.metrics.duration for r in summaries]),
         tput_th_bps=summaries[0].tput_th_bps,
         results=tuple(summaries),
+        failures=failures,
+        report=report,
+    )
+
+
+def _make_runner(
+    workers: Optional[int],
+    cache: Optional[ResultCache],
+    validate: bool,
+    timeout: Optional[float],
+    retries: Optional[int],
+    fail_fast: bool,
+    journal: Optional[CampaignJournal],
+) -> ParallelRunner:
+    """One place that translates the public knobs into a runner."""
+    retry = RetryPolicy(max_retries=retries) if retries is not None else None
+    return ParallelRunner(
+        workers=workers,
+        cache=cache,
+        validate=validate,
+        timeout=timeout,
+        retry=retry,
+        fail_fast=fail_fast,
+        journal=journal,
     )
 
 
@@ -150,6 +208,10 @@ def run_replicated(
     workers: Optional[int] = 1,
     cache: Optional[ResultCache] = None,
     validate: bool = False,
+    timeout: Optional[float] = None,
+    retries: Optional[int] = None,
+    fail_fast: bool = True,
+    journal: Optional[CampaignJournal] = None,
 ) -> ReplicatedResult:
     """Run ``config`` over ``replications`` seeds and aggregate.
 
@@ -160,15 +222,47 @@ def run_replicated(
     current code version.  Aggregates are identical either way.
     ``validate=True`` attaches the invariant engine to every simulated
     seed (cache hits skip simulation and are not re-validated).
+
+    Fault handling: ``timeout`` bounds each seed's wall-clock time,
+    ``retries`` re-runs timed-out/crashed seeds (None = policy
+    default), ``journal`` checkpoints completed seeds for resume.
+    With ``fail_fast=True`` (default) a quarantined seed raises its
+    taxonomy exception; with ``fail_fast=False`` the aggregate is
+    computed over the surviving seeds and the result carries the
+    failures — unless *every* seed failed, which still raises.
     """
     if replications < 1:
         raise ValueError(f"replications must be >= 1, got {replications}")
-    runner = ParallelRunner(workers=workers, cache=cache, validate=validate)
-    summaries = runner.run(_seeded_configs(config, replications, base_seed))
-    return _aggregate(config, summaries)
+    runner = _make_runner(
+        workers, cache, validate, timeout, retries, fail_fast, journal
+    )
+    campaign = runner.run_campaign(_seeded_configs(config, replications, base_seed))
+    survivors = campaign.surviving()
+    if not survivors:
+        # Nothing to aggregate: even graceful degradation has a floor.
+        return campaign.require_complete()  # pragma: no cover - always raises
+    return _aggregate(
+        config,
+        survivors,
+        failures=campaign.report.quarantined,
+        report=campaign.report,
+    )
 
 
-def sweep(
+@dataclass(frozen=True)
+class SweepCampaign:
+    """A sweep's points plus its campaign-wide completeness report.
+
+    ``points`` omits any swept value whose *every* seed was
+    quarantined (there is nothing to average); ``report`` still
+    accounts for those units, so nothing goes missing silently.
+    """
+
+    points: Dict[T, ReplicatedResult]
+    report: CompletenessReport
+
+
+def sweep_campaign(
     values: Iterable[T],
     make_config: Callable[[T], ScenarioConfig],
     replications: int = 5,
@@ -176,23 +270,19 @@ def sweep(
     workers: Optional[int] = 1,
     cache: Optional[ResultCache] = None,
     validate: bool = False,
-) -> Dict[T, ReplicatedResult]:
-    """Run a replicated experiment for every value of a swept parameter.
+    timeout: Optional[float] = None,
+    retries: Optional[int] = None,
+    fail_fast: bool = True,
+    journal: Optional[CampaignJournal] = None,
+) -> SweepCampaign:
+    """Fault-tolerant sweep: every point, plus a completeness report.
 
-    Points appear in the returned dict in input order, and duplicate
-    sweep values are an error (they would silently alias one dict
-    entry).  The whole sweep — every ``(value, seed)`` pair — is
-    flattened into one batch for the parallel engine, so ``workers=N``
-    parallelizes across points as well as seeds.
-
-    >>> from repro.experiments.config import wan_scenario
-    >>> points = sweep(
-    ...     [576],
-    ...     lambda size: wan_scenario(packet_size=size, transfer_bytes=10_240),
-    ...     replications=1,
-    ... )
-    >>> 576 in points
-    True
+    The whole sweep — every ``(value, seed)`` pair — is flattened into
+    one batch for the parallel engine, so ``workers=N`` parallelizes
+    across points as well as seeds, retries/timeouts apply per unit,
+    and a ``journal`` checkpoints the entire campaign for resume.
+    With ``fail_fast=False`` quarantined seeds degrade their point to
+    a partial average (or drop the point when no seed survived).
     """
     value_list = list(values)
     seen: set = set()
@@ -207,10 +297,62 @@ def sweep(
     units: List[ScenarioConfig] = []
     for config in configs:
         units.extend(_seeded_configs(config, replications, base_seed))
-    runner = ParallelRunner(workers=workers, cache=cache, validate=validate)
-    summaries = runner.run(units)
+    runner = _make_runner(
+        workers, cache, validate, timeout, retries, fail_fast, journal
+    )
+    campaign = runner.run_campaign(units)
     points: Dict[T, ReplicatedResult] = {}
     for i, (value, config) in enumerate(zip(value_list, configs)):
-        chunk = summaries[i * replications : (i + 1) * replications]
-        points[value] = _aggregate(config, chunk)
-    return points
+        lo, hi = i * replications, (i + 1) * replications
+        chunk = [s for s in campaign.summaries[lo:hi] if s is not None]
+        point_failures = tuple(
+            f for f in campaign.report.quarantined if lo <= f.index < hi
+        )
+        if not chunk:
+            continue  # every seed quarantined; the report still has them
+        points[value] = _aggregate(config, chunk, failures=point_failures)
+    return SweepCampaign(points=points, report=campaign.report)
+
+
+def sweep(
+    values: Iterable[T],
+    make_config: Callable[[T], ScenarioConfig],
+    replications: int = 5,
+    base_seed: int = 1,
+    workers: Optional[int] = 1,
+    cache: Optional[ResultCache] = None,
+    validate: bool = False,
+    timeout: Optional[float] = None,
+    retries: Optional[int] = None,
+    fail_fast: bool = True,
+    journal: Optional[CampaignJournal] = None,
+) -> Dict[T, ReplicatedResult]:
+    """Run a replicated experiment for every value of a swept parameter.
+
+    Points appear in the returned dict in input order, and duplicate
+    sweep values are an error (they would silently alias one dict
+    entry).  This is :func:`sweep_campaign` without the report — use
+    that variant when you need the completeness accounting.
+
+    >>> from repro.experiments.config import wan_scenario
+    >>> points = sweep(
+    ...     [576],
+    ...     lambda size: wan_scenario(packet_size=size, transfer_bytes=10_240),
+    ...     replications=1,
+    ... )
+    >>> 576 in points
+    True
+    """
+    return sweep_campaign(
+        values,
+        make_config,
+        replications=replications,
+        base_seed=base_seed,
+        workers=workers,
+        cache=cache,
+        validate=validate,
+        timeout=timeout,
+        retries=retries,
+        fail_fast=fail_fast,
+        journal=journal,
+    ).points

@@ -5,6 +5,13 @@ from __future__ import annotations
 import pytest
 
 from repro.cli import build_parser, main
+from repro.experiments import topology
+from repro.experiments.faults import (
+    FAULT_TIMEOUT,
+    CampaignInterrupted,
+    UnitFailure,
+    UnitTimeout,
+)
 
 
 class TestParser:
@@ -60,6 +67,84 @@ class TestSweep:
         assert code == 0
         assert "size(B)" in out
         assert "1536" in out
+        assert "campaign:" in out  # completeness report
+
+    def test_fault_flags_parse_with_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.timeout is None
+        assert args.retries is None
+        assert args.resume is None
+        assert args.fail_fast is False
+        args = build_parser().parse_args(
+            ["figure", "7", "--timeout", "30", "--retries", "1",
+             "--resume", "camp.journal", "--fail-fast"]
+        )
+        assert args.timeout == 30.0
+        assert args.retries == 1
+        assert args.resume == "camp.journal"
+        assert args.fail_fast is True
+
+    def test_resume_journals_then_skips(self, capsys, tmp_path):
+        journal = tmp_path / "camp.journal"
+        argv = ["sweep", "--scheme", "basic", "--transfer-kb", "10",
+                "--replications", "1", "--no-cache", "--resume", str(journal)]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "9 simulated" in first
+        assert journal.is_file()
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "0 simulated" in second
+        assert "9 from journal" in second
+
+    def test_partial_campaign_reports_and_exits_one(
+        self, capsys, monkeypatch, tmp_path
+    ):
+        monkeypatch.setenv("REPRO_BUNDLE_DIR", str(tmp_path / "bundles"))
+        original = topology.run_scenario
+
+        def broken_seed(cfg, **kwargs):
+            if cfg.seed == 2:
+                raise ValueError("chaos")
+            return original(cfg, **kwargs)
+
+        monkeypatch.setattr(topology, "run_scenario", broken_seed)
+        code = main(
+            ["sweep", "--scheme", "basic", "--transfer-kb", "10",
+             "--replications", "2", "--no-cache"]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "PARTIAL" in out
+
+    def test_interrupt_exits_130_with_resume_hint(self, capsys, monkeypatch):
+        def interrupted(*args, **kwargs):
+            raise CampaignInterrupted(2, 3, 18, "camp.journal")
+
+        monkeypatch.setattr("repro.cli.run_replicated", interrupted)
+        code = main(["sweep", "--replications", "2", "--no-cache"])
+        err = capsys.readouterr().err
+        assert code == 130
+        assert "SIGINT" in err
+        assert "--resume camp.journal" in err
+
+    def test_fail_fast_abort_exits_four(self, capsys, monkeypatch):
+        failure = UnitFailure(
+            index=0, key=None, seed=1, scheme="basic", kind=FAULT_TIMEOUT,
+            message="wall-clock budget exceeded", attempts=3,
+        )
+
+        def aborted(*args, **kwargs):
+            raise UnitTimeout(failure)
+
+        monkeypatch.setattr("repro.cli.run_replicated", aborted)
+        code = main(
+            ["sweep", "--replications", "2", "--no-cache", "--fail-fast"]
+        )
+        err = capsys.readouterr().err
+        assert code == 4
+        assert "campaign aborted" in err
+        assert "timeout" in err
 
 
 class TestFigure:

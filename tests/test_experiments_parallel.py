@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import dataclasses
+import logging
 
 import pytest
 
@@ -82,7 +83,7 @@ class TestParallelMatchesSerial:
         def boom(*args, **kwargs):  # pragma: no cover - guard
             raise AssertionError("serial path must not build a process pool")
 
-        monkeypatch.setattr(parallel_mod, "ProcessPoolExecutor", boom)
+        monkeypatch.setattr(parallel_mod, "_WorkerHandle", boom)
         result = run_replicated(
             wan_scenario(transfer_bytes=TINY), replications=2, workers=1
         )
@@ -93,6 +94,33 @@ class TestParallelMatchesSerial:
         assert resolve_workers(1) == 1
         assert resolve_workers(5) == 5
         assert resolve_workers(0) >= 1
+
+
+class TestForkFallback:
+    def test_spawn_only_platform_warns_and_runs_serial(
+        self, monkeypatch, caplog
+    ):
+        """No fork (e.g. Windows/macOS-spawn): degrade to serial, loudly."""
+        monkeypatch.setattr(
+            parallel_mod.multiprocessing,
+            "get_all_start_methods",
+            lambda: ["spawn"],
+        )
+
+        def boom(*args, **kwargs):  # pragma: no cover - guard
+            raise AssertionError("spawn-only platform must not build a pool")
+
+        monkeypatch.setattr(parallel_mod, "_WorkerHandle", boom)
+        with caplog.at_level(
+            logging.WARNING, logger="repro.experiments.parallel"
+        ):
+            result = run_replicated(
+                wan_scenario(transfer_bytes=TINY), replications=2, workers=4
+            )
+        assert result.replications == 2
+        messages = [r.getMessage() for r in caplog.records]
+        assert any("fork start method unavailable" in m for m in messages)
+        assert any("--workers 4" in m for m in messages)
 
 
 class TestResultCache:
@@ -167,7 +195,6 @@ class TestResultCache:
         )
         assert cache.clear() == 2
         assert cache.clear() == 0
-
 
     def test_finished_units_cached_before_batch_completes(
         self, tmp_path, monkeypatch
