@@ -135,7 +135,7 @@ def test_pending_count_is_constant_time(benchmark):
     events = [sim.schedule(float(i % 997) + 1.0, lambda: None) for i in range(50_000)]
     for event in events[::3]:
         event.cancel()
-    expected = sum(1 for e in sim._heap if not e.cancelled)
+    expected = sum(1 for entry in sim._heap if not entry[2].cancelled)
     assert sim.pending_count() == expected
 
     calls = 10_000
@@ -149,7 +149,7 @@ def test_pending_count_is_constant_time(benchmark):
     scans = 50
     start = time.perf_counter()
     for _ in range(scans):
-        sum(1 for e in sim._heap if not e.cancelled)
+        sum(1 for entry in sim._heap if not entry[2].cancelled)
     scan_per_call = (time.perf_counter() - start) / scans
 
     print(f"\npending_count {o1_per_call * 1e6:.2f}us/call vs heap scan {scan_per_call * 1e6:.2f}us/call")

@@ -28,6 +28,10 @@ import random
 from bisect import bisect_right
 from typing import Iterator, List, Optional, Protocol, Tuple
 
+# Local alias: a plain global lookup is cheaper than module-attribute
+# access on the per-frame corrupts() path.  Same C function, same bits.
+_exp = math.exp
+
 
 class ChannelState(enum.Enum):
     """The two Markov states of the burst-error model."""
@@ -136,6 +140,25 @@ class TwoStateChannel:
         self.sojourns_pruned = 0
         self.frames_tested = 0
         self.frames_corrupted = 0
+        # Constant per-bit log-survival terms; math.log1p on the same
+        # inputs is deterministic, so hoisting it out of
+        # survival_probability changes no result bit.
+        self._log1p_good = math.log1p(-ber_good)
+        self._log1p_bad = math.log1p(-ber_bad)
+        # O(1) fast-path cache: bounds and state of one materialized
+        # sojourn (typically the one the previous frame ended in).  A
+        # query interval that falls inside it needs no bisect, no
+        # timeline extension and no watermark bookkeeping.  ``_fast_hi
+        # < _fast_lo`` encodes "empty".
+        self._fast_lo: float = 0.0
+        self._fast_hi: float = -1.0
+        self._fast_good: bool = True
+        self.fast_path_hits = 0
+        self.fast_path_misses = 0
+        # Prebound RNG draw: _rng is only ever assigned here, so the
+        # bound method cannot go stale, and corrupts() skips two
+        # attribute lookups per frame.
+        self._random = rng.random if rng is not None else None
 
     def _extend_to(self, time: float) -> None:
         """Materialize sojourns until the timeline covers ``time``."""
@@ -180,6 +203,10 @@ class TwoStateChannel:
         del self._states[:index]
         self._pruned_until = time
         self.sojourns_pruned += index
+        if self._fast_lo < self._boundaries[0]:
+            # The cached sojourn fell off the retained prefix; drop it
+            # so fast-path hits never answer behind the pruned history.
+            self._fast_hi = self._fast_lo - 1.0
         return index
 
     def timeline_length(self) -> int:
@@ -192,8 +219,16 @@ class TwoStateChannel:
             raise ValueError(f"time must be >= 0, got {time}")
         self._note_query(time)
         self._extend_to(time)
-        index = bisect_right(self._boundaries, time) - 1
-        return self._states[index]
+        boundaries = self._boundaries
+        index = bisect_right(boundaries, time) - 1
+        state = self._states[index]
+        # Remember this sojourn for the exposure() fast path.
+        self._fast_lo = boundaries[index]
+        self._fast_hi = (
+            boundaries[index + 1] if index + 1 < len(boundaries) else self._horizon
+        )
+        self._fast_good = state is ChannelState.GOOD
+        return state
 
     def intervals(self, start: float, end: float) -> Iterator[Tuple[float, float, ChannelState]]:
         """Yield ``(seg_start, seg_end, state)`` covering ``[start, end]``."""
@@ -202,6 +237,13 @@ class TwoStateChannel:
         self._note_query(start)
         self._extend_to(end)
         index = bisect_right(self._boundaries, start) - 1
+        if start == end:
+            # Zero-width query: answer directly from the timeline just
+            # materialized instead of recursing through state_at(),
+            # which would re-run _note_query and could prune a second
+            # time inside a single logical query.
+            yield start, end, self._states[index]
+            return
         cursor = start
         while cursor < end:
             seg_end = (
@@ -213,8 +255,6 @@ class TwoStateChannel:
             yield cursor, seg_end, self._states[index]
             cursor = seg_end
             index += 1
-        if start == end:
-            yield start, end, self.state_at(start)
 
     def exposure(self, start: float, duration: float, nbits: int) -> Tuple[float, float]:
         """Split ``nbits`` into (bits_in_good, bits_in_bad) over the interval.
@@ -226,11 +266,41 @@ class TwoStateChannel:
         if nbits < 0:
             raise ValueError(f"nbits must be >= 0, got {nbits}")
         end = start + duration
+        # O(1) fast path: the whole interval lies inside the cached
+        # sojourn.  The guard is exact — ``start < hi`` because the
+        # sojourn is half-open at its end, and ``end == hi`` only
+        # counts when ``hi`` is an interior boundary: a frame ending
+        # exactly at the materialized horizon must fall through so the
+        # slow path's _extend_to(end) draws the next sojourn, keeping
+        # RNG consumption identical to the unoptimised walk.
+        hi = self._fast_hi
+        if (
+            self._fast_lo <= start < hi
+            and end <= hi
+            and (end != hi or hi != self._horizon)
+        ):
+            self.fast_path_hits += 1
+            if end <= start or nbits == 0:
+                share = float(nbits)
+            else:
+                # Same float expression the segment walk evaluates for
+                # a single full-width segment: nbits * span / span, not
+                # float(nbits) — the round trip is not always exact.
+                span = end - start
+                share = nbits * span / span
+            return (share, 0.0) if self._fast_good else (0.0, share)
+        self.fast_path_misses += 1
         if end <= start or nbits == 0:
             # Zero (or floating-point-negligible) airtime: all bits see
             # the state at the start instant.
             state = self.state_at(start)
             return (float(nbits), 0.0) if state is ChannelState.GOOD else (0.0, float(nbits))
+        self._note_query(start)
+        self._extend_to(end)
+        boundaries = self._boundaries
+        states = self._states
+        n = len(boundaries)
+        index = bisect_right(boundaries, start) - 1
         bits_good = 0.0
         bits_bad = 0.0
         # Normalize by the float width of [start, end], not the nominal
@@ -239,32 +309,69 @@ class TwoStateChannel:
         # segments below tile exactly [start, end].  Dividing by the
         # tiled width is what conserves nbits.
         span = end - start
-        for seg_start, seg_end, state in self.intervals(start, end):
-            share = nbits * (seg_end - seg_start) / span
-            if state is ChannelState.GOOD:
+        cursor = start
+        while cursor < end:
+            seg_end = boundaries[index + 1] if index + 1 < n else self._horizon
+            if seg_end > end:
+                seg_end = end
+            share = nbits * (seg_end - cursor) / span
+            if states[index] is ChannelState.GOOD:
                 bits_good += share
             else:
                 bits_bad += share
+            cursor = seg_end
+            index += 1
+        # Cache the sojourn the interval ended in: back-to-back frames
+        # usually land in the same one.
+        last = index - 1
+        self._fast_lo = boundaries[last]
+        self._fast_hi = boundaries[last + 1] if last + 1 < n else self._horizon
+        self._fast_good = states[last] is ChannelState.GOOD
         return bits_good, bits_bad
 
     def survival_probability(self, start: float, duration: float, nbits: int) -> float:
         """Probability all ``nbits`` cross uncorrupted."""
         bits_good, bits_bad = self.exposure(start, duration, nbits)
-        log_survive = bits_good * math.log1p(-self.ber_good) + bits_bad * math.log1p(
-            -self.ber_bad
-        )
-        return math.exp(log_survive)
+        # _log1p_good/_log1p_bad are the log1p(-ber) values hoisted to
+        # __init__; same inputs, same bits.
+        return math.exp(bits_good * self._log1p_good + bits_bad * self._log1p_bad)
 
     def corrupts(self, start: float, duration: float, nbits: int) -> bool:
         """Decide whether a frame transmitted over the interval is lost."""
         self.frames_tested += 1
-        if self.deterministic_errors:
+        if duration < 0 or nbits < 0:
+            self.exposure(start, duration, nbits)  # raises the canonical error
+        # Inlined exposure() fast path (one corrupts() per frame makes
+        # this the hottest channel entry point); identical guard and
+        # identical float expressions, falling back to exposure() on a
+        # miss.  The miss counter is incremented by exposure() itself.
+        end = start + duration
+        hi = self._fast_hi
+        if (
+            self._fast_lo <= start < hi
+            and end <= hi
+            and (end != hi or hi != self._horizon)
+        ):
+            self.fast_path_hits += 1
+            if end <= start or nbits == 0:
+                share = float(nbits)
+            else:
+                span = end - start
+                share = nbits * span / span
+            if self._fast_good:
+                bits_good, bits_bad = share, 0.0
+            else:
+                bits_good, bits_bad = 0.0, share
+        else:
             bits_good, bits_bad = self.exposure(start, duration, nbits)
+        if self.deterministic_errors:
             expected_errors = bits_good * self.ber_good + bits_bad * self.ber_bad
             corrupted = expected_errors >= 1.0
         else:
-            assert self._rng is not None
-            corrupted = self._rng.random() >= self.survival_probability(start, duration, nbits)
+            assert self._random is not None
+            corrupted = self._random() >= _exp(
+                bits_good * self._log1p_good + bits_bad * self._log1p_bad
+            )
         if corrupted:
             self.frames_corrupted += 1
         return corrupted

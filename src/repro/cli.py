@@ -11,6 +11,7 @@ Commands:
 * ``congestion`` — the wired-congestion / ECN / EBSN interaction.
 * ``validate`` — run every claim check and print a ✓/✗ report.
 * ``replay`` — re-run a recorded invariant-violation bundle.
+* ``profile`` — cProfile one run; hot functions + perf counters.
 * ``report`` — assemble benchmarks/out/*.txt into one REPORT.md.
 
 Simulation commands accept ``--validate`` to attach the runtime
@@ -573,6 +574,66 @@ _REPORT_ORDER = [
 ]
 
 
+def _profile_config(args: argparse.Namespace):
+    scheme = SCHEMES[args.scheme]
+    if args.lan:
+        return lan_scenario(
+            scheme=scheme,
+            bad_period_mean=args.bad_period,
+            transfer_bytes=args.transfer_kb * 1024,
+            seed=args.seed,
+        )
+    return wan_scenario(
+        scheme=scheme,
+        packet_size=args.packet_size,
+        bad_period_mean=args.bad_period,
+        transfer_bytes=args.transfer_kb * 1024,
+        seed=args.seed,
+        record_trace=False,
+    )
+
+
+def _print_perf_summary(scenario) -> None:
+    sim = scenario.sim
+    channel = scenario.channel
+    counters = sim.perf_counters()
+    hits = channel.fast_path_hits
+    misses = channel.fast_path_misses
+    total = hits + misses
+    print(f"events executed   : {counters['events_executed']}")
+    print(f"wall time         : {counters['run_wall_seconds']:.4f} s")
+    print(f"events/sec        : {counters['events_per_sec']:,.0f}")
+    print(f"heap pushes       : {counters['heap_pushes']}")
+    print(f"heap compactions  : {counters['heap_compactions']}")
+    print(f"frames tested     : {channel.frames_tested}")
+    if total:
+        print(
+            f"channel fast path : {hits}/{total} hits ({hits / total:.1%})"
+        )
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """cProfile one uninstrumented run and report the hot functions."""
+    import cProfile
+    import pstats
+
+    from repro.experiments.topology import Scenario
+
+    scenario = Scenario(_profile_config(args))
+    if args.events_per_sec:
+        scenario.run()
+        _print_perf_summary(scenario)
+        return 0
+    profiler = cProfile.Profile()
+    profiler.enable()
+    scenario.run()
+    profiler.disable()
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.sort_stats(args.sort).print_stats(args.top)
+    _print_perf_summary(scenario)
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -674,6 +735,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("bundle", help="path to a violation-*.json replay bundle")
     p.set_defaults(func=_cmd_replay)
+
+    p = sub.add_parser(
+        "profile",
+        help="cProfile one run; print hot functions and perf counters",
+    )
+    _add_common(p)
+    p.add_argument("--lan", action="store_true", help="LAN config instead of WAN")
+    p.add_argument("--packet-size", type=int, default=576)
+    p.add_argument("--bad-period", type=float, default=1.0)
+    p.add_argument("--transfer-kb", type=int, default=100)
+    p.add_argument("--top", type=int, default=15, help="functions to print")
+    p.add_argument(
+        "--sort",
+        choices=["cumulative", "tottime", "ncalls"],
+        default="cumulative",
+        help="pstats sort order (default: cumulative)",
+    )
+    p.add_argument(
+        "--events-per-sec",
+        action="store_true",
+        help="skip the profiler; print only the throughput summary",
+    )
+    p.set_defaults(func=_cmd_profile)
 
     p = sub.add_parser("report", help="assemble benchmark outputs into REPORT.md")
     p.add_argument("--out-dir", default="benchmarks/out")

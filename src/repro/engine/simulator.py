@@ -9,6 +9,8 @@ deterministic callbacks.
 from __future__ import annotations
 
 import heapq
+import math
+import sys
 import time
 from typing import Any, Callable, Optional
 
@@ -76,11 +78,24 @@ class Event:
         if self.cancelled:
             return
         self.cancelled = True
-        if self._sim is not None:
-            self._sim._note_cancelled()
+        sim = self._sim
+        if sim is not None:
+            # Inlined Simulator._note_cancelled (timer-heavy runs
+            # cancel constantly): account the corpse, compact when dead
+            # entries outnumber live ones.
+            sim._cancelled_count += 1
+            heap_len = len(sim._heap)
+            if (
+                heap_len >= sim.COMPACT_MIN_HEAP
+                and sim._cancelled_count * 2 > heap_len
+            ):
+                sim._compact()
 
     def __lt__(self, other: "Event") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
+        # time-then-seq without building two tuples per comparison.
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "cancelled" if self.cancelled else "pending"
@@ -113,7 +128,11 @@ class Simulator:
     WATCHDOG_STRIDE = 2048
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
+        # Heap entries are (time, seq, event) tuples: heap sift
+        # comparisons stay in C (tuple < tuple never reaches a Python
+        # __lt__ because seq is unique) instead of calling
+        # Event.__lt__ O(n log n) times per run.
+        self._heap: list[tuple[float, int, Event]] = []
         self._now: float = 0.0
         self._seq: int = 0
         self._running = False
@@ -122,6 +141,10 @@ class Simulator:
         self._cancelled_count: int = 0
         self.events_executed: int = 0
         self.heap_compactions: int = 0
+        #: Perf counters (observability only — never consulted by the
+        #: run loop, so they cannot perturb results).
+        self.heap_pushes: int = 0
+        self.run_wall_seconds: float = 0.0
 
     @property
     def now(self) -> float:
@@ -132,7 +155,21 @@ class Simulator:
         """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        return self.schedule_at(self._now + delay, callback, *args)
+        time = self._now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        # Inline-constructed Event (bypassing __init__) — this is the
+        # hottest allocation in the whole simulator.
+        event = Event.__new__(Event)
+        event.time = time
+        event.seq = seq
+        event.callback = callback
+        event.args = args
+        event.cancelled = False
+        event._sim = self
+        heapq.heappush(self._heap, (time, seq, event))
+        self.heap_pushes += 1
+        return event
 
     def schedule_at(self, time: float, callback: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``callback(*args)`` at absolute simulation ``time``."""
@@ -140,9 +177,17 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule into the past (time={time}, now={self._now})"
             )
-        event = Event(time, self._seq, callback, args, sim=self)
-        self._seq += 1
-        heapq.heappush(self._heap, event)
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event.__new__(Event)
+        event.time = time
+        event.seq = seq
+        event.callback = callback
+        event.args = args
+        event.cancelled = False
+        event._sim = self
+        heapq.heappush(self._heap, (time, seq, event))
+        self.heap_pushes += 1
         return event
 
     def _note_cancelled(self) -> None:
@@ -162,14 +207,19 @@ class Simulator:
             self._compact()
 
     def _compact(self) -> None:
-        """Drop every cancelled entry and re-heapify the survivors."""
+        """Drop every cancelled entry and re-heapify the survivors.
+
+        Rebuilds in place (slice assignment) rather than rebinding
+        ``self._heap``, so the run loop's local alias to the heap list
+        stays valid across a compaction triggered mid-callback.
+        """
         live = []
-        for event in self._heap:
-            if event.cancelled:
-                event._sim = None
+        for entry in self._heap:
+            if entry[2].cancelled:
+                entry[2]._sim = None
             else:
-                live.append(event)
-        self._heap = live
+                live.append(entry)
+        self._heap[:] = live
         heapq.heapify(self._heap)
         self._cancelled_count = 0
         self.heap_compactions += 1
@@ -180,15 +230,17 @@ class Simulator:
 
     def peek(self) -> Optional[float]:
         """Time of the next pending event, or ``None`` if the heap is empty."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)._sim = None
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)[2]._sim = None
             self._cancelled_count -= 1
-        return self._heap[0].time if self._heap else None
+        return heap[0][0] if heap else None
 
     def step(self) -> bool:
         """Execute the single next event.  Returns False if none remain."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)[2]
             event._sim = None
             if event.cancelled:
                 self._cancelled_count -= 1
@@ -222,36 +274,62 @@ class Simulator:
         self._running = True
         self._stopped = False
         executed = 0
-        deadline = (
-            time.monotonic() + wall_timeout if wall_timeout is not None else None
-        )
+        monotonic = time.monotonic
+        deadline = monotonic() + wall_timeout if wall_timeout is not None else None
+        # Watchdog countdown: reloads at WATCHDOG_STRIDE so the clock is
+        # checked exactly when `executed` hits a positive stride multiple
+        # (identical abort points to the old modulo check, without the
+        # per-event modulo).  -1 disables the branch body when unwatched.
+        countdown = self.WATCHDOG_STRIDE if deadline is not None else -1
+        # Local aliases for the hot loop.  `heap` stays valid across
+        # callbacks because _compact() rebuilds it in place and
+        # schedule()/schedule_at() push into the same list object.
+        heap = self._heap
+        pop = heapq.heappop
+        # Sentinels fold the per-iteration None checks into plain
+        # comparisons (simulation times are finite, so `> inf` and
+        # `>= maxsize` are never taken when no limit was given).
+        event_limit = sys.maxsize if max_events is None else max_events
+        time_limit = math.inf if until is None else until
+        start_wall = monotonic()
         try:
             while not self._stopped:
-                if max_events is not None and executed >= max_events:
+                if executed >= event_limit:
                     break
-                if (
-                    deadline is not None
-                    and executed % self.WATCHDOG_STRIDE == 0
-                    and executed
-                    and time.monotonic() > deadline
-                ):
-                    raise WallClockExceeded(
-                        time.monotonic() - (deadline - wall_timeout),
-                        wall_timeout,
-                        executed,
-                    )
-                next_time = self.peek()
-                if next_time is None:
+                if countdown >= 0:
+                    if countdown == 0:
+                        countdown = self.WATCHDOG_STRIDE - 1
+                        if monotonic() > deadline:
+                            raise WallClockExceeded(
+                                monotonic() - (deadline - wall_timeout),
+                                wall_timeout,
+                                executed,
+                            )
+                    else:
+                        countdown -= 1
+                # Inlined peek(): discard cancelled corpses at the head.
+                while heap and heap[0][2].cancelled:
+                    pop(heap)[2]._sim = None
+                    self._cancelled_count -= 1
+                if not heap:
                     if until is not None and self._now < until:
                         self._now = until
                     break
-                if until is not None and next_time > until:
+                head = heap[0]
+                if head[0] > time_limit:
                     self._now = until
                     break
-                self.step()
+                # Inlined step(): the head is known live, pop-and-dispatch.
+                pop(heap)
+                event = head[2]
+                event._sim = None
+                self._now = head[0]
+                event.callback(*event.args)
                 executed += 1
         finally:
             self._running = False
+            self.events_executed += executed
+            self.run_wall_seconds += monotonic() - start_wall
 
     def pending_count(self) -> int:
         """Number of live (non-cancelled) events still scheduled.
@@ -260,3 +338,27 @@ class Simulator:
         both maintained incrementally.
         """
         return len(self._heap) - self._cancelled_count
+
+    def events_per_sec(self) -> float:
+        """Dispatch throughput over all :meth:`run` calls so far.
+
+        0.0 until the first run() completes (or if the wall time was
+        too short to measure).
+        """
+        if self.run_wall_seconds <= 0.0:
+            return 0.0
+        return self.events_executed / self.run_wall_seconds
+
+    def perf_counters(self) -> dict:
+        """Snapshot of the per-run performance counters.
+
+        Pure observability: reading these never changes simulation
+        behaviour, and the loop never branches on them.
+        """
+        return {
+            "events_executed": self.events_executed,
+            "heap_pushes": self.heap_pushes,
+            "heap_compactions": self.heap_compactions,
+            "run_wall_seconds": self.run_wall_seconds,
+            "events_per_sec": self.events_per_sec(),
+        }

@@ -55,7 +55,9 @@ class Timer:
 
     def restart(self, delay: float) -> None:
         """Arm the timer for ``delay`` from now, cancelling any pending deadline."""
-        self.cancel()
+        event = self._event
+        if event is not None:
+            event.cancel()
         self._event = self._sim.schedule(delay, self._fire)
 
     def cancel(self) -> None:

@@ -176,6 +176,12 @@ class CompletenessReport:
     from_cache: int = 0
     from_journal: int = 0
     quarantined: Tuple[UnitFailure, ...] = ()
+    #: Wall-clock seconds spent writing finished units back to the
+    #: result cache / crash journal during the campaign.  Durability
+    #: is bought on the critical path (units are persisted the moment
+    #: they land), so its cost is reported rather than hidden.
+    cache_write_seconds: float = 0.0
+    journal_write_seconds: float = 0.0
 
     @property
     def complete(self) -> bool:
@@ -193,6 +199,11 @@ class CompletenessReport:
             f"({self.simulated} simulated, {self.from_cache} from cache, "
             f"{self.from_journal} from journal)"
         ]
+        if self.cache_write_seconds or self.journal_write_seconds:
+            lines.append(
+                f"write-back: cache {self.cache_write_seconds * 1e3:.1f} ms, "
+                f"journal {self.journal_write_seconds * 1e3:.1f} ms"
+            )
         if self.quarantined:
             lines.append(
                 f"quarantined ({len(self.quarantined)} unit(s); aggregates "
@@ -210,4 +221,6 @@ def merge_reports(reports: Sequence[CompletenessReport]) -> CompletenessReport:
         from_cache=sum(r.from_cache for r in reports),
         from_journal=sum(r.from_journal for r in reports),
         quarantined=tuple(f for r in reports for f in r.quarantined),
+        cache_write_seconds=sum(r.cache_write_seconds for r in reports),
+        journal_write_seconds=sum(r.journal_write_seconds for r in reports),
     )

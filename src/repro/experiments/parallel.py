@@ -684,6 +684,9 @@ class ParallelRunner:
         summaries: List[Optional[RunSummary]] = [None] * n
         keys: List[Optional[str]] = [None] * n
         from_cache = from_journal = 0
+        # Accumulated wall-clock cost of write-back durability (mutable
+        # cell so the deliver closure can add to it).
+        write_seconds = {"cache": 0.0, "journal": 0.0}
         tasks: List[_Task] = []
         for i, config in enumerate(configs):
             keys[i] = self._key(config)
@@ -699,16 +702,22 @@ class ParallelRunner:
                     # Promote journal hits into the cache: the journal
                     # is per-campaign, the cache lives on.
                     if self.cache is not None:
+                        t0 = time.perf_counter()
                         self.cache.put(keys[i], summaries[i])
+                        write_seconds["cache"] += time.perf_counter() - t0
                     continue
             tasks.append(_Task(index=i, config=config, key=keys[i]))
 
         def deliver(index: int, summary: RunSummary) -> None:
             summaries[index] = summary
             if self.cache is not None and keys[index] is not None:
+                t0 = time.perf_counter()
                 self.cache.put(keys[index], summary)
+                write_seconds["cache"] += time.perf_counter() - t0
             if self.journal is not None:
+                t0 = time.perf_counter()
                 self.journal.record(keys[index], summary)
+                write_seconds["journal"] += time.perf_counter() - t0
 
         def completed() -> int:
             return sum(1 for s in summaries if s is not None)
@@ -761,6 +770,8 @@ class ParallelRunner:
             quarantined=tuple(
                 failures[i] for i in sorted(failures)
             ),
+            cache_write_seconds=write_seconds["cache"],
+            journal_write_seconds=write_seconds["journal"],
         )
         return CampaignResult(summaries=summaries, report=report)
 

@@ -78,7 +78,7 @@ class FeedbackHooks:
         """A link ACK arrived — the channel is passing frames again."""
 
 
-@dataclass
+@dataclass(slots=True)
 class _OutstandingFrame:
     """ARQ bookkeeping for one unacknowledged frame."""
 
@@ -94,6 +94,13 @@ class _OutstandingFrame:
         if self.backoff_event is not None:
             self.backoff_event.cancel()
             self.backoff_event = None
+
+
+# Module-level aliases: enum member access costs a class-attribute
+# lookup per frame on the receive path; a plain global is cheaper.
+_LINK_ACK = FrameKind.LINK_ACK
+_SKIP = FrameKind.SKIP
+_ARQ = LinkLayerMode.ARQ
 
 
 class WirelessPort:
@@ -141,6 +148,14 @@ class WirelessPort:
         self._flush_timer = Timer(sim, self._flush_gap, name=f"{name}.flush")
         self._flush_timeout = self.arq_config.derived_flush()
 
+        # Hot-path prebinds.  Simulator.schedule is never instance-
+        # patched; shadowing _on_tx_complete in the instance dict hands
+        # out_link.send the same bound method every time instead of
+        # binding a fresh one per frame.  (_transmit stays an attribute
+        # lookup — the validation checkers instance-patch it.)
+        self._schedule = sim.schedule
+        self._on_tx_complete = self._on_tx_complete
+
     # ------------------------------------------------------------------
     # Outgoing path
     # ------------------------------------------------------------------
@@ -149,8 +164,9 @@ class WirelessPort:
         """Fragment and transmit a datagram over the wireless hop."""
         fragments = self.fragmenter.fragment(datagram)
         if self.mode is LinkLayerMode.PLAIN:
+            send = self.out_link.send
             for fragment in fragments:
-                self.out_link.send(data_frame(fragment))
+                send(data_frame(fragment))
             self.feedback.on_queue_depth(len(self.out_link.queue))
         else:
             self._pending.extend(fragments)
@@ -174,22 +190,38 @@ class WirelessPort:
         """Transmit retries first, then new frames, up to the window."""
         # Retries first: they already hold window slots, so they are
         # never throttled — only new frames consume fresh slots.
-        while self._retry:
-            uid = self._retry.popleft()
-            entry = self._outstanding.get(uid)
+        outstanding = self._outstanding
+        retry = self._retry
+        while retry:
+            uid = retry.popleft()
+            entry = outstanding.get(uid)
             if entry is None or not entry.awaiting_retry:
                 continue
             entry.awaiting_retry = False
             self.stats.link_retransmissions += 1
             self._transmit(entry)
-        while self._pending and len(self._outstanding) < self.arq_config.window:
-            fragment = self._pending.popleft()
-            entry = _OutstandingFrame(frame=data_frame(fragment))
-            if self.arq_config.in_order_delivery:
-                entry.frame.link_seq = self._tx_seq
+        pending = self._pending
+        if not pending:
+            return
+        cfg = self.arq_config
+        window = cfg.window
+        in_order = cfg.in_order_delivery
+        stats = self.stats
+        while pending and len(outstanding) < window:
+            frame = data_frame(pending.popleft())
+            # Field-by-field build skips the dataclass __init__ on the
+            # per-frame hot path (all defaults spelled out).
+            entry = _OutstandingFrame.__new__(_OutstandingFrame)
+            entry.frame = frame
+            entry.attempts = 0
+            entry.ack_timer = None
+            entry.backoff_event = None
+            entry.awaiting_retry = False
+            if in_order:
+                frame.link_seq = self._tx_seq
                 self._tx_seq += 1
-            self._outstanding[entry.frame.uid] = entry
-            self.stats.first_transmissions += 1
+            outstanding[frame.uid] = entry
+            stats.first_transmissions += 1
             self._transmit(entry)
 
     def _transmit(self, entry: _OutstandingFrame) -> None:
@@ -201,13 +233,19 @@ class WirelessPort:
         entry = self._outstanding.get(frame.uid)
         if entry is None or entry.awaiting_retry:
             return
-        if entry.ack_timer is None:
-            entry.ack_timer = Timer(
+        timer = entry.ack_timer
+        if timer is None:
+            timer = entry.ack_timer = Timer(
                 self._sim,
                 lambda uid=frame.uid: self._on_ack_timeout(uid),
                 name=f"{self.name}.arq#{frame.uid}",
             )
-        entry.ack_timer.restart(self.arq_config.ack_timeout)
+        # Inlined timer.restart(self.arq_config.ack_timeout): one timer
+        # restart per transmitted frame.
+        event = timer._event
+        if event is not None:
+            event.cancel()
+        timer._event = self._schedule(self.arq_config.ack_timeout, timer._fire)
 
     def _on_ack_timeout(self, uid: int) -> None:
         entry = self._outstanding.get(uid)
@@ -220,9 +258,7 @@ class WirelessPort:
             self._discard(entry)
             return
         delay = self._backoff_delay()
-        entry.backoff_event = self._sim.schedule(
-            delay, self._backoff_expired, uid
-        )
+        entry.backoff_event = self._schedule(delay, self._backoff_expired, uid)
 
     def _backoff_expired(self, uid: int) -> None:
         entry = self._outstanding.get(uid)
@@ -286,26 +322,67 @@ class WirelessPort:
     # ------------------------------------------------------------------
 
     def receive_frame(self, frame: LinkFrame) -> None:
-        """Entry point: connect this to the incoming wireless link."""
-        if frame.kind is FrameKind.LINK_ACK:
-            self._handle_link_ack(frame)
+        """Entry point: connect this to the incoming wireless link.
+
+        The two per-frame cases — a link ACK releasing a window slot,
+        and an in-order data frame — are inlined here; out-of-order,
+        SKIP, and stale frames take the cold helpers.
+        """
+        kind = frame.kind
+        if kind is _LINK_ACK:
+            entry = self._outstanding.get(frame.acked_frame_uid or -1)
+            if entry is None:
+                self.stats.stale_link_acks += 1
+                return
+            self.stats.link_acks_received += 1
+            self.feedback.on_recovered()
+            # Inlined entry.cancel_timers() + Timer.cancel().
+            timer = entry.ack_timer
+            if timer is not None:
+                event = timer._event
+                if event is not None:
+                    event.cancel()
+                    timer._event = None
+            backoff = entry.backoff_event
+            if backoff is not None:
+                backoff.cancel()
+                entry.backoff_event = None
+            if entry.awaiting_retry:
+                entry.awaiting_retry = False  # leave a dangling uid in _retry
+            del self._outstanding[entry.frame.uid]
+            self._pump()
             return
-        if self.mode is LinkLayerMode.ARQ:
+        if self.mode is _ARQ:
             self.out_link.send(link_ack_frame(frame.uid))
-        if frame.kind is FrameKind.SKIP:
+        if kind is _SKIP:
             assert frame.link_seq is not None
             self._resequence(frame.link_seq, None)
             return
-        assert frame.fragment is not None
-        if frame.link_seq is None:
-            self._deliver_fragment(frame.fragment)
+        fragment = frame.fragment
+        assert fragment is not None
+        seq = frame.link_seq
+        if seq is None:
+            datagram = self.reassembler.add(fragment)
+            if datagram is not None:
+                self.deliver(datagram)
             return
-        self._resequence(frame.link_seq, frame.fragment)
-
-    def _deliver_fragment(self, fragment: Fragment) -> None:
-        datagram = self.reassembler.add(fragment)
-        if datagram is not None:
-            self.deliver(datagram)
+        if seq == self._rx_expected:
+            # In-order arrival, the steady-state case.
+            datagram = self.reassembler.add(fragment)
+            if datagram is not None:
+                self.deliver(datagram)
+            self._rx_expected = seq + 1
+            if self._rx_buffer:
+                self._drain_rx_buffer()
+            else:
+                # Inlined self._flush_timer.cancel() — usually idle.
+                timer = self._flush_timer
+                event = timer._event
+                if event is not None:
+                    event.cancel()
+                    timer._event = None
+            return
+        self._resequence(seq, fragment)
 
     def _resequence(self, seq: int, fragment: Optional[Fragment]) -> None:
         """Deliver fragments in link-sequence order, flushing stale gaps.
@@ -327,7 +404,9 @@ class WirelessPort:
                 self._flush_timer.start(self._flush_timeout)
             return
         if fragment is not None:
-            self._deliver_fragment(fragment)
+            datagram = self.reassembler.add(fragment)
+            if datagram is not None:
+                self.deliver(datagram)
         self._rx_expected += 1
         self._drain_rx_buffer()
 
@@ -335,7 +414,9 @@ class WirelessPort:
         while self._rx_expected in self._rx_buffer:
             fragment = self._rx_buffer.pop(self._rx_expected)
             if fragment is not None:
-                self._deliver_fragment(fragment)
+                datagram = self.reassembler.add(fragment)
+                if datagram is not None:
+                    self.deliver(datagram)
             self._rx_expected += 1
         if self._rx_buffer:
             self._flush_timer.restart(self._flush_timeout)
@@ -350,15 +431,3 @@ class WirelessPort:
         self._rx_expected = min(self._rx_buffer)
         self._drain_rx_buffer()
 
-    def _handle_link_ack(self, frame: LinkFrame) -> None:
-        entry = self._outstanding.get(frame.acked_frame_uid or -1)
-        if entry is None:
-            self.stats.stale_link_acks += 1
-            return
-        self.stats.link_acks_received += 1
-        self.feedback.on_recovered()
-        entry.cancel_timers()
-        if entry.awaiting_retry:
-            entry.awaiting_retry = False  # leave a dangling uid in _retry
-        del self._outstanding[entry.frame.uid]
-        self._pump()

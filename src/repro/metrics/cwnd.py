@@ -14,7 +14,7 @@ from typing import List, Sequence, Tuple
 Sample = Tuple[float, float]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CwndSummary:
     """Aggregates over one connection's cwnd trace."""
 

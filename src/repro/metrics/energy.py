@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from repro.experiments.topology import ScenarioResult
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class EnergyModel:
     """Radio power draw in watts (defaults: WaveLAN-class PCMCIA)."""
 
@@ -33,7 +33,7 @@ class EnergyModel:
             raise ValueError("power draws must be >= 0")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class EnergyReport:
     """Energy breakdown for one connection at the mobile host."""
 

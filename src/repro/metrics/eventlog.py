@@ -45,7 +45,7 @@ class EventType(enum.Enum):
     CORRUPT = "corrupt"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Event:
     """One trace record."""
 
@@ -159,6 +159,13 @@ def attach_to_scenario(scenario) -> EventLog:
     Wraps the wired links' ``send``, the wireless links' ``send`` and
     delivery callbacks, and the channel's corruption test.  Must be
     called before :meth:`Scenario.run`.
+
+    Instrumentation is strictly opt-in: the wrappers below exist only
+    on scenarios this function was called on.  An uninstrumented run
+    dispatches the original bound methods directly — no ``if log:``
+    checks, no indirection, zero cost on the hot path.  That contract
+    is what lets the validation layer afford full tracing while plain
+    campaign runs pay nothing.
     """
     log = EventLog()
     sim = scenario.sim

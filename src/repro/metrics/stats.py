@@ -14,7 +14,7 @@ from repro.tcp.sink import TcpSink
 from repro.tcp.tahoe import TahoeSender
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ConnectionMetrics:
     """Everything the paper's figures read off one connection."""
 

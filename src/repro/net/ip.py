@@ -47,7 +47,12 @@ class RoutingTable:
 
     def forward(self, datagram: Datagram) -> None:
         """Route a datagram one hop toward its destination."""
-        self.lookup(datagram.dst)(datagram)
+        # Inlined lookup(): forwarding runs once per datagram per hop.
+        dst = datagram.dst
+        forward = self._routes.get(dst, self._default)
+        if forward is None:
+            raise KeyError(f"node {self.node_name!r} has no route to {dst!r}")
+        forward(datagram)
 
 
 class Fragmenter:
@@ -72,14 +77,21 @@ class Fragmenter:
 
     def fragment(self, datagram: Datagram) -> List[Fragment]:
         """Split ``datagram``; a datagram within the MTU yields one fragment."""
-        count = self.fragment_count(datagram.size_bytes)
+        mtu = self.mtu_bytes
+        count = -(-datagram.size_bytes // mtu)
         fragments: List[Fragment] = []
         remaining = datagram.size_bytes
         for index in range(count):
-            size = min(self.mtu_bytes, remaining)
-            fragments.append(
-                Fragment(datagram=datagram, frag_index=index, frag_count=count, size_bytes=size)
-            )
+            size = mtu if remaining > mtu else remaining
+            # Field-by-field build skips __init__/__post_init__ on the
+            # per-fragment hot path; the validated invariants (index in
+            # range, positive size) hold by construction.
+            frag = Fragment.__new__(Fragment)
+            frag.datagram = datagram
+            frag.frag_index = index
+            frag.frag_count = count
+            frag.size_bytes = size
+            fragments.append(frag)
             remaining -= size
         if count > 1:
             self.datagrams_fragmented += 1
@@ -87,7 +99,7 @@ class Fragmenter:
         return fragments
 
 
-@dataclass
+@dataclass(slots=True)
 class _PartialDatagram:
     """Reassembly buffer for one in-flight datagram."""
 
@@ -140,11 +152,13 @@ class Reassembler:
             )
             self._partials[uid] = partial
             self._ensure_sweep()
-        if fragment.frag_index in partial.received:
+        received = partial.received
+        before = len(received)
+        received.add(fragment.frag_index)
+        if len(received) == before:
             self.duplicate_fragments += 1
             return None
-        partial.received.add(fragment.frag_index)
-        if partial.complete:
+        if len(received) == partial.frag_count:
             del self._partials[uid]
             self.completed += 1
             self._completed_recent[uid] = None

@@ -17,7 +17,7 @@ from repro.net.packet import Datagram
 from repro.net.queues import DropTailQueue
 
 
-@dataclass
+@dataclass(slots=True)
 class LinkStats:
     """Transmission counters shared by wired and wireless links."""
 

@@ -59,7 +59,7 @@ class IcmpType(enum.Enum):
     SOURCE_QUENCH = "source_quench"
 
 
-@dataclass
+@dataclass(slots=True)
 class TcpSegment:
     """A TCP data segment, identified by segment number.
 
@@ -82,7 +82,7 @@ class TcpSegment:
             raise ValueError(f"payload must be positive, got {self.payload_bytes}")
 
 
-@dataclass
+@dataclass(slots=True)
 class TcpAck:
     """A cumulative TCP acknowledgement.
 
@@ -100,7 +100,7 @@ class TcpAck:
             raise ValueError(f"ack_seq must be >= 0, got {self.ack_seq}")
 
 
-@dataclass
+@dataclass(slots=True)
 class IcmpMessage:
     """An ICMP control message from the base station to the source.
 
@@ -117,7 +117,7 @@ class IcmpMessage:
 Payload = Union[TcpSegment, TcpAck, IcmpMessage]
 
 
-@dataclass
+@dataclass(slots=True)
 class Datagram:
     """A network-layer packet.
 
@@ -158,7 +158,7 @@ class Datagram:
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class Fragment:
     """One MTU-sized piece of a datagram on the wireless hop.
 
@@ -196,7 +196,7 @@ class FrameKind(enum.Enum):
     SKIP = "skip"
 
 
-@dataclass
+@dataclass(slots=True)
 class LinkFrame:
     """The unit the wireless link transmits and the ARQ acknowledges.
 
@@ -229,18 +229,41 @@ class LinkFrame:
             raise ValueError(f"frame size must be positive, got {self.size_bytes}")
 
 
+def _blank_frame() -> LinkFrame:
+    """Uninitialised LinkFrame for the hot factories below.
+
+    The two per-frame factories run once per transmission and once per
+    link ACK; building the frame field-by-field skips the dataclass
+    ``__init__``/``__post_init__`` pair, whose checks hold by
+    construction here (fragment present, fixed positive sizes).
+    """
+    return LinkFrame.__new__(LinkFrame)
+
+
 def data_frame(fragment: Fragment) -> LinkFrame:
     """Wrap a fragment in a transmittable link frame."""
-    return LinkFrame(kind=FrameKind.DATA, size_bytes=fragment.size_bytes, fragment=fragment)
+    frame = _blank_frame()
+    frame.kind = FrameKind.DATA
+    frame.size_bytes = fragment.size_bytes
+    frame.fragment = fragment
+    frame.acked_frame_uid = None
+    frame.uid = next(_frame_ids)
+    frame.attempt = 1
+    frame.link_seq = None
+    return frame
 
 
 def link_ack_frame(acked_frame_uid: int) -> LinkFrame:
     """Build the small link-layer ACK for a received data frame."""
-    return LinkFrame(
-        kind=FrameKind.LINK_ACK,
-        size_bytes=LINK_ACK_BYTES,
-        acked_frame_uid=acked_frame_uid,
-    )
+    frame = _blank_frame()
+    frame.kind = FrameKind.LINK_ACK
+    frame.size_bytes = LINK_ACK_BYTES
+    frame.fragment = None
+    frame.acked_frame_uid = acked_frame_uid
+    frame.uid = next(_frame_ids)
+    frame.attempt = 1
+    frame.link_seq = None
+    return frame
 
 
 def skip_frame(link_seq: int) -> LinkFrame:

@@ -14,7 +14,7 @@ from typing import Generic, Optional, TypeVar
 T = TypeVar("T")
 
 
-@dataclass
+@dataclass(slots=True)
 class QueueStats:
     """Counters kept by every queue."""
 
@@ -61,22 +61,27 @@ class DropTailQueue(Generic[T]):
 
     def offer(self, item: T, size_bytes: int = 0) -> bool:
         """Enqueue ``item``; returns False (and counts a drop) if full."""
-        if self.is_full:
-            self.stats.dropped += 1
-            self.stats.dropped_bytes += size_bytes
+        items = self._items
+        stats = self.stats
+        if self.capacity is not None and len(items) >= self.capacity:
+            stats.dropped += 1
+            stats.dropped_bytes += size_bytes
             return False
-        self._items.append(item)
-        self.stats.enqueued += 1
-        self.stats.enqueued_bytes += size_bytes
-        self.stats.peak_depth = max(self.stats.peak_depth, len(self._items))
+        items.append(item)
+        stats.enqueued += 1
+        stats.enqueued_bytes += size_bytes
+        depth = len(items)
+        if depth > stats.peak_depth:
+            stats.peak_depth = depth
         return True
 
     def poll(self) -> Optional[T]:
         """Dequeue the head item, or ``None`` when empty."""
-        if not self._items:
+        items = self._items
+        if not items:
             return None
         self.stats.dequeued += 1
-        return self._items.popleft()
+        return items.popleft()
 
     def peek(self) -> Optional[T]:
         """The head item without removing it, or ``None`` when empty."""

@@ -85,6 +85,19 @@ class WirelessLink:
         self.stats = LinkStats()
         self._receiver: Optional[Callable[[LinkFrame], None]] = None
         self._busy = False
+        # Frame sizes repeat endlessly (full fragments, the tail
+        # fragment, link ACKs), so memoize size -> (air_bytes, airtime).
+        # Values are computed by the same expressions as the uncached
+        # methods, so the cache is arithmetically invisible.
+        self._airtime_cache: dict[int, tuple[int, float]] = {}
+        # Hot-path prebinds.  Simulator.schedule is never instance-
+        # patched, so one bound method serves every transmission;
+        # shadowing _tx_done in the instance dict skips a descriptor
+        # bind per schedule.  (channel.corrupts and this link's own
+        # send ARE instance-patched by the event log, so those stay
+        # ordinary attribute lookups.)
+        self._schedule = sim.schedule
+        self._tx_done = self._tx_done
 
     def connect(self, receiver: Callable[[LinkFrame], None]) -> None:
         """Set the far-end delivery callback."""
@@ -94,13 +107,22 @@ class WirelessLink:
     def busy(self) -> bool:
         return self._busy
 
+    def _airtime(self, size_bytes: int) -> tuple[int, float]:
+        """Memoized (on-air bytes, airtime seconds) for a frame size."""
+        cached = self._airtime_cache.get(size_bytes)
+        if cached is None:
+            air = int(round(size_bytes * self.config.overhead_factor))
+            cached = (air, air * 8 / self.config.raw_bandwidth_bps)
+            self._airtime_cache[size_bytes] = cached
+        return cached
+
     def air_bytes(self, size_bytes: int) -> int:
         """On-air size of a frame after physical-layer expansion."""
-        return int(round(size_bytes * self.config.overhead_factor))
+        return self._airtime(size_bytes)[0]
 
     def tx_time(self, size_bytes: int) -> float:
         """Airtime of a frame of ``size_bytes`` (pre-expansion)."""
-        return self.air_bytes(size_bytes) * 8 / self.config.raw_bandwidth_bps
+        return self._airtime(size_bytes)[1]
 
     def send(
         self,
@@ -112,22 +134,52 @@ class WirelessLink:
             raise RuntimeError(f"link {self.name!r} has no receiver connected")
         self.stats.offered += 1
         target = self.ack_queue if frame.kind is FrameKind.LINK_ACK else self.queue
-        target.offer((frame, on_tx_complete), frame.size_bytes)
+        # Inlined target.offer((frame, on_tx_complete), frame.size_bytes):
+        # one call per frame on the hot path.
+        items = target._items
+        stats = target.stats
+        size = frame.size_bytes
+        if target.capacity is not None and len(items) >= target.capacity:
+            stats.dropped += 1
+            stats.dropped_bytes += size
+        else:
+            items.append((frame, on_tx_complete))
+            stats.enqueued += 1
+            stats.enqueued_bytes += size
+            depth = len(items)
+            if depth > stats.peak_depth:
+                stats.peak_depth = depth
         if not self._busy:
             self._start_next()
 
     def _start_next(self) -> None:
-        entry = self.ack_queue.poll()
-        if entry is None:
-            entry = self.queue.poll()
-        if entry is None:
-            self._busy = False
-            return
-        frame, on_tx_complete = entry
+        # Inlined ack_queue.poll() / queue.poll(): this runs once per
+        # frame and per idle check, and the two method calls (one
+        # usually answering "empty") showed up in profiles.
+        queue = self.ack_queue
+        items = queue._items
+        if not items:
+            queue = self.queue
+            items = queue._items
+            if not items:
+                self._busy = False
+                return
+        queue.stats.dequeued += 1
+        frame, on_tx_complete = items.popleft()
         self._busy = True
-        duration = self.tx_time(frame.size_bytes)
-        start = self._sim.now
-        self._sim.schedule(duration, self._tx_done, frame, on_tx_complete, start, duration)
+        cached = self._airtime_cache.get(frame.size_bytes)
+        if cached is None:
+            cached = self._airtime(frame.size_bytes)
+        air, duration = cached
+        self._schedule(
+            duration,
+            self._tx_done,
+            frame,
+            on_tx_complete,
+            self._sim._now,
+            duration,
+            air * 8,
+        )
 
     def _tx_done(
         self,
@@ -135,18 +187,19 @@ class WirelessLink:
         on_tx_complete: Optional[Callable[[LinkFrame], None]],
         start: float,
         duration: float,
+        nbits: int,
     ) -> None:
-        self.stats.transmitted += 1
-        self.stats.bytes_transmitted += frame.size_bytes
-        self.stats.busy_time += duration
-        nbits = self.air_bytes(frame.size_bytes) * 8
+        stats = self.stats
+        stats.transmitted += 1
+        stats.bytes_transmitted += frame.size_bytes
+        stats.busy_time += duration
         corrupted = self.channel.corrupts(start, duration, nbits)
         if corrupted:
-            self.stats.corrupted += 1
+            stats.corrupted += 1
         else:
-            self.stats.delivered += 1
+            stats.delivered += 1
             assert self._receiver is not None
-            self._sim.schedule(self.config.prop_delay, self._receiver, frame)
+            self._schedule(self.config.prop_delay, self._receiver, frame)
         if on_tx_complete is not None:
             on_tx_complete(frame)
         self._start_next()

@@ -24,7 +24,7 @@ from repro.net.packet import (
 )
 
 
-@dataclass
+@dataclass(slots=True)
 class SinkStats:
     """Receive-side counters used for goodput/throughput."""
 

@@ -297,3 +297,86 @@ class TestTimelinePruning:
         )
         scenario.run()
         assert scenario.channel.timeline_length() <= 513
+
+
+class TestFastPathEquivalence:
+    """The O(1) single-sojourn fast path must be invisible.
+
+    Twin channels share a seed; one has its fast-path cache wiped
+    before every query so it always takes the full segment walk.  The
+    fast channel must produce bit-identical exposure splits, identical
+    corruption decisions, and leave both the corruption RNG and the
+    sojourn RNG in exactly the same state — i.e. the fast path neither
+    draws nor skips a single random number.
+    """
+
+    @staticmethod
+    def _twins(seed):
+        def build():
+            return markov_channel(
+                5.0,
+                1.0,
+                random.Random(seed),
+                sojourn_rng=random.Random(seed + 1),
+            )
+
+        return build(), build()
+
+    @staticmethod
+    def _rng_states(channel):
+        return (channel._rng.getstate(), channel._sojourns._rng.getstate())
+
+    @given(
+        seed=st.integers(min_value=0, max_value=9999),
+        queries=st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=80),
+                st.floats(min_value=0, max_value=5),
+                st.integers(min_value=0, max_value=4096),
+            ),
+            min_size=1,
+            max_size=40,
+        ),
+    )
+    @settings(max_examples=60)
+    def test_exposure_fast_and_forced_slow_agree(self, seed, queries):
+        fast, slow = self._twins(seed)
+        for start, duration, nbits in queries:
+            slow._fast_hi = slow._fast_lo - 1.0  # wipe: force the segment walk
+            assert fast.exposure(start, duration, nbits) == slow.exposure(
+                start, duration, nbits
+            )
+            assert self._rng_states(fast) == self._rng_states(slow)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=9999),
+        queries=st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=80),
+                st.floats(min_value=0.0001, max_value=2),
+                st.integers(min_value=1, max_value=4096),
+            ),
+            min_size=1,
+            max_size=40,
+        ),
+    )
+    @settings(max_examples=60)
+    def test_corrupts_fast_and_forced_slow_agree(self, seed, queries):
+        fast, slow = self._twins(seed)
+        for start, duration, nbits in queries:
+            slow._fast_hi = slow._fast_lo - 1.0  # wipe: force the segment walk
+            assert fast.corrupts(start, duration, nbits) == slow.corrupts(
+                start, duration, nbits
+            )
+            assert self._rng_states(fast) == self._rng_states(slow)
+
+    def test_paper_default_wan_run_hits_the_fast_path(self):
+        from repro.experiments.config import wan_scenario
+        from repro.experiments.topology import Scenario, Scheme
+
+        scenario = Scenario(wan_scenario(scheme=Scheme.EBSN, record_trace=False))
+        scenario.run()
+        channel = scenario.channel
+        total = channel.fast_path_hits + channel.fast_path_misses
+        assert total == channel.frames_tested
+        assert channel.fast_path_hits / total > 0.90

@@ -258,3 +258,60 @@ class TestHeapCompaction:
         assert sim.heap_compactions == 0
         sim.run()
         assert sim.events_executed == 0
+
+
+class TestWallClockWatchdog:
+    """The countdown watchdog, exercised without any real waiting.
+
+    The stride countdown must check the wall clock exactly when the
+    executed-event count reaches a positive multiple of
+    ``WATCHDOG_STRIDE`` — the same abort points as a per-event modulo
+    check — and must not perturb an unwatched run.  No SIGALRM, no
+    sleeping: a fake monotonic clock drives the abort.
+    """
+
+    def test_abort_fires_exactly_at_the_stride_boundary(self, monkeypatch):
+        import repro.engine.simulator as simulator_mod
+        from repro.engine.simulator import WallClockExceeded
+
+        class FakeTime:
+            """monotonic() that advances one second per call."""
+
+            def __init__(self):
+                self.calls = 0
+
+            def monotonic(self):
+                self.calls += 1
+                return float(self.calls)
+
+        monkeypatch.setattr(simulator_mod, "time", FakeTime())
+        sim = Simulator()
+
+        def forever():
+            sim.schedule(1e-9, forever)
+
+        sim.schedule(0.0, forever)
+        with pytest.raises(WallClockExceeded) as info:
+            sim.run(wall_timeout=0.0)
+        # A zero budget is expired by the first clock check, which the
+        # countdown schedules after exactly WATCHDOG_STRIDE events.
+        assert info.value.events == Simulator.WATCHDOG_STRIDE
+        assert sim.events_executed == Simulator.WATCHDOG_STRIDE
+
+    def test_generous_budget_is_behaviour_identical(self):
+        def run_chain(**kwargs):
+            sim = Simulator()
+            fired = []
+
+            def chain(n):
+                fired.append(n)
+                if n:
+                    sim.schedule(0.001, chain, n - 1)
+
+            sim.schedule(0.0, chain, 3 * Simulator.WATCHDOG_STRIDE)
+            sim.run(**kwargs)
+            return fired, sim.events_executed, sim.now
+
+        unwatched = run_chain()
+        watched = run_chain(wall_timeout=1e9)
+        assert watched == unwatched

@@ -25,6 +25,7 @@ from repro.experiments.faults import (
 )
 from repro.experiments.journal import CampaignJournal
 from repro.experiments.parallel import _execute_unit
+from repro.experiments.runner import run_replicated
 
 TINY = 5 * 1024
 
@@ -122,6 +123,34 @@ class TestCompletenessReport:
         assert "PARTIAL" in text
         assert "seed 7" in text
 
+    def test_write_back_timings_in_describe(self):
+        report = CompletenessReport(
+            total=1,
+            completed=1,
+            cache_write_seconds=0.25,
+            journal_write_seconds=0.5,
+        )
+        text = report.describe()
+        assert "write-back: cache 250.0 ms, journal 500.0 ms" in text
+
+    def test_write_back_line_absent_when_unmeasured(self):
+        assert "write-back" not in CompletenessReport(total=1, completed=1).describe()
+
+    def test_merge_reports_sums_write_back_timings(self):
+        merged = merge_reports(
+            [
+                CompletenessReport(
+                    total=1,
+                    completed=1,
+                    cache_write_seconds=0.1,
+                    journal_write_seconds=0.2,
+                ),
+                CompletenessReport(total=1, completed=1, cache_write_seconds=0.3),
+            ]
+        )
+        assert merged.cache_write_seconds == pytest.approx(0.4)
+        assert merged.journal_write_seconds == pytest.approx(0.2)
+
     def test_merge_reports_sums_everything(self):
         merged = merge_reports(
             [
@@ -216,3 +245,25 @@ class TestCampaignJournal:
             journal = CampaignJournal(path)
         assert len(journal) == 0
         journal.close()
+
+
+class TestWriteBackTimings:
+    """The durability cost of a campaign is measured, not hidden."""
+
+    def test_campaign_records_cache_and_journal_write_cost(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        config = wan_scenario(transfer_bytes=TINY, record_trace=False)
+        with CampaignJournal(tmp_path / "camp.journal") as journal:
+            result = run_replicated(
+                config, replications=2, cache=cache, journal=journal
+            )
+        report = result.report
+        assert report.cache_write_seconds > 0.0
+        assert report.journal_write_seconds > 0.0
+        assert "write-back" in report.describe()
+
+    def test_cacheless_campaign_reports_zero_cost(self):
+        config = wan_scenario(transfer_bytes=TINY, record_trace=False)
+        report = run_replicated(config, replications=1).report
+        assert report.cache_write_seconds == 0.0
+        assert report.journal_write_seconds == 0.0
